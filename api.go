@@ -1,0 +1,97 @@
+// Package cachecraft is the public API of the CacheCraft reproduction: a
+// trace-driven GPU memory-hierarchy simulator for studying memory
+// protection (inline ECC) schemes, the CacheCraft reconstructed-caching
+// controller itself, and the bit-level ECC codecs the protection story
+// rests on.
+//
+// # Quick start
+//
+//	cfg := cachecraft.DefaultConfig()
+//	res, err := cachecraft.Run(cfg, "stream", "cachecraft")
+//	if err != nil { ... }
+//	fmt.Println(res.IPC, res.DRAMBytes["redundancy"])
+//
+// Run simulates one (workload, protection scheme) pair on the configured
+// GPU and returns timing and traffic results. Workloads() and Schemes()
+// enumerate the available choices. For ablations, build a custom
+// CacheCraft with Options and RunCacheCraft.
+//
+// The underlying subsystem packages live in internal/; this package is the
+// stable surface.
+package cachecraft
+
+import (
+	"cachecraft/internal/config"
+	"cachecraft/internal/core"
+	"cachecraft/internal/gpu"
+	"cachecraft/internal/layout"
+	"cachecraft/internal/schemes"
+	"cachecraft/internal/trace"
+)
+
+// Config is the simulated GPU configuration (Table 1 of the evaluation).
+type Config = config.GPU
+
+// Result is the outcome of one simulation run: cycles, instructions, IPC,
+// and DRAM traffic broken down by class.
+type Result = gpu.Result
+
+// Options configures the CacheCraft controller's four mechanisms
+// (reconstruction, redundancy cache, predictor, write buffer).
+type Options = core.Options
+
+// Geometry describes the inline-ECC protection granularity.
+type Geometry = layout.Geometry
+
+// DefaultConfig returns the evaluation's baseline GPU configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// QuickConfig returns a scaled-down configuration suitable for tests and
+// smoke runs; absolute numbers are not meaningful at this scale.
+func QuickConfig() Config { return config.Quick() }
+
+// DefaultOptions returns the full CacheCraft configuration (all four
+// mechanisms enabled).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Workloads lists the available synthetic workloads.
+func Workloads() []string { return trace.Names() }
+
+// Schemes lists the protection schemes in evaluation order: none,
+// inline-naive, ecc-cache, cachecraft.
+func Schemes() []string { return schemes.All() }
+
+// Run simulates the named workload under the named protection scheme.
+func Run(cfg Config, workload, scheme string) (Result, error) {
+	factory, err := schemes.ByName(scheme)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := gpu.New(cfg, workload, factory)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	res.Workload = workload
+	res.Scheme = scheme
+	return res, nil
+}
+
+// RunCacheCraft simulates the workload under a CacheCraft controller built
+// with explicit options (for ablation and sensitivity studies).
+func RunCacheCraft(cfg Config, workload string, opt Options) (Result, error) {
+	m, err := gpu.New(cfg, workload, schemes.CacheCraftWith(opt))
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	res.Workload = workload
+	res.Scheme = "cachecraft"
+	return res, nil
+}

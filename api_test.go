@@ -1,0 +1,165 @@
+package cachecraft
+
+import (
+	"testing"
+)
+
+func quickCfg() Config {
+	cfg := QuickConfig()
+	cfg.AccessesPerSM = 300
+	return cfg
+}
+
+func TestWorkloadsAndSchemesEnumerations(t *testing.T) {
+	if len(Workloads()) != 10 {
+		t.Fatalf("workloads = %v", Workloads())
+	}
+	s := Schemes()
+	if len(s) != 4 || s[0] != "none" || s[3] != "cachecraft" {
+		t.Fatalf("schemes = %v", s)
+	}
+}
+
+func TestRunPublicAPI(t *testing.T) {
+	res, err := Run(quickCfg(), "stream", "cachecraft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "stream" || res.Scheme != "cachecraft" {
+		t.Fatalf("result not labeled: %q/%q", res.Workload, res.Scheme)
+	}
+	if res.IPC <= 0 || res.Cycles == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestRunRejectsUnknownNames(t *testing.T) {
+	if _, err := Run(quickCfg(), "nope", "none"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := Run(quickCfg(), "stream", "nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRunCacheCraftOptions(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Reconstruct = false
+	opt.UseRC = false
+	opt.WBuf = false
+	res, err := RunCacheCraft(quickCfg(), "scan", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControllerSt.Get("reconstruct_sectors") != 0 {
+		t.Fatal("reconstruction ran while disabled")
+	}
+	if res.ControllerSt.Get("red_rc_hits") != 0 {
+		t.Fatal("RC hit while disabled")
+	}
+	// Without RC and write buffer, writebacks must RMW like the naive
+	// controller.
+	if res.ControllerSt.Get("red_rmw") == 0 {
+		t.Fatal("expected RMWs with RC and write buffer disabled")
+	}
+}
+
+func TestPublicCodecs(t *testing.T) {
+	for _, build := range []func() (SectorCodec, error){
+		NewSECDED6472, NewRS3632, NewRS3432,
+	} {
+		codec, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sector := make([]byte, codec.SectorBytes())
+		for i := range sector {
+			sector[i] = byte(i * 3)
+		}
+		red := codec.Encode(sector)
+		if len(red) != codec.RedundancyBytes() {
+			t.Fatalf("%s: redundancy size %d", codec.Name(), len(red))
+		}
+		if res := codec.Decode(sector, red); res != CodecOK {
+			t.Fatalf("%s: clean decode = %v", codec.Name(), res)
+		}
+		sector[0] ^= 1
+		if res := codec.Decode(sector, red); res != CodecCorrected {
+			t.Fatalf("%s: single-bit decode = %v", codec.Name(), res)
+		}
+	}
+}
+
+func TestPublicTaggedCodec(t *testing.T) {
+	codec, err := NewTaggedCodec(32, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32)
+	tag := []byte{0x3}
+	parity := codec.Encode(data, tag)
+	if got := codec.Check(data, parity, tag); got != TagOK {
+		t.Fatalf("matching tag = %v", got)
+	}
+	if got := codec.Check(data, parity, []byte{0x4}); got != TagMismatch {
+		t.Fatalf("wrong tag = %v", got)
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossSchemeInstructionParity is the protection-transparency
+// invariant at the public API level: all schemes retire identical work.
+func TestCrossSchemeInstructionParity(t *testing.T) {
+	for _, wl := range []string{"stream", "histogram", "bfs"} {
+		var want uint64
+		for i, s := range Schemes() {
+			res, err := Run(quickCfg(), wl, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = res.Instructions
+				continue
+			}
+			if res.Instructions != want {
+				t.Fatalf("%s/%s retired %d, want %d", wl, s, res.Instructions, want)
+			}
+		}
+	}
+}
+
+func TestPublicSECDAECAndChipkill(t *testing.T) {
+	daec, err := NewSECDAEC6472()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sector := make([]byte, 32)
+	red := daec.Encode(sector)
+	sector[0] ^= 0b11 // adjacent double
+	if res := daec.Decode(sector, red); res != CodecCorrected {
+		t.Fatalf("secdaec adjacent double = %v", res)
+	}
+	ck, err := NewChipkill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red = ck.Encode(sector)
+	for _, p := range ck.DeviceSymbols(3) {
+		if p < 32 {
+			sector[p] ^= 0x55
+		} else {
+			red[p-32] ^= 0x55
+		}
+	}
+	if res := ck.DecodeWithDeadDevice(sector, red, 3); res != CodecCorrected {
+		t.Fatalf("chipkill dead device = %v", res)
+	}
+}

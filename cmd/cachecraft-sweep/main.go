@@ -1,0 +1,76 @@
+// cachecraft-sweep regenerates the evaluation's tables and figures. Each
+// experiment prints the same rows/series the paper-style evaluation
+// reports; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded outputs.
+//
+// Usage:
+//
+//	cachecraft-sweep -list
+//	cachecraft-sweep -run fig4
+//	cachecraft-sweep -run all            # the full evaluation (slow)
+//	cachecraft-sweep -run fig4 -quick    # scaled-down smoke version
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cachecraft/internal/bench"
+	"cachecraft/internal/config"
+	"cachecraft/internal/stats"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "experiment id to run, or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick = flag.Bool("quick", false, "use the scaled-down configuration (fast, not meaningful)")
+		csv   = flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+	)
+	flag.Parse()
+
+	if *list || *runID == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	base := config.Default()
+	if *quick {
+		base = config.Quick()
+	}
+	r := bench.NewRunner(base)
+
+	var out io.Writer = os.Stdout
+	if *csv {
+		out = stats.CSVWriter{Writer: os.Stdout}
+	}
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		fmt.Printf("\n### %s — %s\n\n", e.ID, e.Title)
+		if err := e.Run(r, base, out); err != nil {
+			fmt.Fprintf(os.Stderr, "cachecraft-sweep: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s done in %.1fs; %d simulations cached]\n",
+			e.ID, time.Since(start).Seconds(), r.Runs())
+	}
+
+	if *runID == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := bench.ByID(*runID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachecraft-sweep:", err)
+		os.Exit(1)
+	}
+	run(e)
+}

@@ -1,0 +1,70 @@
+package cachecraft
+
+import "cachecraft/internal/ecc"
+
+// The ECC codec surface: real bit-level encoders/decoders for the codes
+// the protection schemes assume. These operate on actual bytes and are
+// exercised by the reliability evaluation (Table 3) and the memory-safety
+// example.
+
+// CodecResult classifies a decode outcome (ok / corrected / detected).
+type CodecResult = ecc.Result
+
+// Decode outcomes.
+const (
+	CodecOK        = ecc.OK
+	CodecCorrected = ecc.Corrected
+	CodecDetected  = ecc.Detected
+)
+
+// SectorCodec protects a fixed-size sector with fixed-size redundancy.
+type SectorCodec = ecc.SectorCodec
+
+// NewSECDED6472 builds the classic (72,64) SEC-DED organization over 32B
+// sectors: 4 interleaved codewords, 4 redundancy bytes per sector (1/8).
+func NewSECDED6472() (SectorCodec, error) { return ecc.NewSECDEDSector(32, 64) }
+
+// NewRS3632 builds the RS(36,32) symbol-grain organization: 4 parity bytes
+// per 32B sector (1/8), correcting any two byte errors.
+func NewRS3632() (SectorCodec, error) { return ecc.NewRSSector(32, 4) }
+
+// NewRS3432 builds the RS(34,32) organization: 2 parity bytes per 32B
+// sector (1/16), correcting any single byte error.
+func NewRS3432() (SectorCodec, error) { return ecc.NewRSSector(32, 2) }
+
+// NewSECDAEC6472 builds the SEC-DAEC organization over 32B sectors:
+// adjacent-double-bit correction at SEC-DED-class redundancy (8 check
+// bits per 64-bit word), matching the clustered fault patterns GPU DRAM
+// beam studies report.
+func NewSECDAEC6472() (SectorCodec, error) { return ecc.NewSECDAECSector(32, 64) }
+
+// ChipkillCodec is the device-striped Reed–Solomon organization: a whole
+// identified-dead device is recoverable via erasure decoding.
+type ChipkillCodec = ecc.Chipkill
+
+// NewChipkill builds the device-striped RS(36,32) organization over 9
+// devices; DecodeWithDeadDevice on the returned codec recovers a whole
+// identified-dead device via erasure decoding.
+func NewChipkill() (*ChipkillCodec, error) { return ecc.NewChipkill(32, 4, 9) }
+
+// TaggedCodec is the Alias-Free Tagged ECC variant: a memory-safety tag is
+// embedded in the code space at zero storage cost (Implicit Memory Tagging
+// style).
+type TaggedCodec = ecc.Tagged
+
+// Tag-check outcomes.
+type TagResult = ecc.TagResult
+
+// Tag-check outcome values.
+const (
+	TagOK            = ecc.TagOK
+	TagOKCorrected   = ecc.TagOKCorrected
+	TagMismatch      = ecc.TagMismatch
+	TagUncorrectable = ecc.TagUncorrectable
+)
+
+// NewTaggedCodec builds a tagged codec over dataLen-byte blocks with
+// paritySyms stored parity bytes and tagSyms virtual tag bytes.
+func NewTaggedCodec(dataLen, paritySyms, tagSyms int) (*TaggedCodec, error) {
+	return ecc.NewTagged(dataLen, paritySyms, tagSyms)
+}

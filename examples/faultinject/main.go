@@ -1,0 +1,59 @@
+// Fault-injection demo: compare how the bit-grain SEC-DED organization
+// and the symbol-grain Reed–Solomon organizations hold up under the fault
+// patterns GPU DRAM actually produces (random bit flips, bursts, and
+// whole-chip errors).
+//
+//	go run ./examples/faultinject
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cachecraft"
+	"cachecraft/internal/ecc"
+	"cachecraft/internal/faults"
+	"cachecraft/internal/stats"
+)
+
+func main() {
+	secded, err := cachecraft.NewSECDED6472()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs36, err := cachecraft.NewRS3632()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const trials = 20000
+	injectors := []struct {
+		name string
+		inj  faults.Injector
+	}{
+		{"single bit", faults.BitFlips(1)},
+		{"double bit", faults.BitFlips(2)},
+		{"4-bit burst", faults.Burst(4)},
+		{"chip (whole byte)", faults.ChipError()},
+		{"two chips", faults.DoubleChipError()},
+	}
+
+	t := stats.NewTable(fmt.Sprintf("reliability under %d injections per cell", trials),
+		"fault", "secded corrected", "secded SDC", "rs36 corrected", "rs36 SDC")
+	for _, in := range injectors {
+		a := faults.Campaign{Codec: secded.(ecc.SectorCodec), Trials: trials, Seed: 11}.Run(in.name, in.inj)
+		b := faults.Campaign{Codec: rs36.(ecc.SectorCodec), Trials: trials, Seed: 11}.Run(in.name, in.inj)
+		t.AddRow(in.name,
+			fmt.Sprintf("%.4f", a.Rate(faults.Corrected)),
+			fmt.Sprintf("%.4f", a.SDCRate()),
+			fmt.Sprintf("%.4f", b.Rate(faults.Corrected)),
+			fmt.Sprintf("%.4f", b.SDCRate()))
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\nBoth codecs store the same 4 redundancy bytes per 32B sector.")
+	fmt.Println("The symbol-grain RS(36,32) turns whole-chip failures from silent")
+	fmt.Println("corruption into guaranteed correction — the reason GPU memory")
+	fmt.Println("codes moved to symbol organizations.")
+}

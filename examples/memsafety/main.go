@@ -1,0 +1,104 @@
+// Memory-safety demo: Implicit-Memory-Tagging-style use of the tagged ECC
+// codec. A tiny allocator colors each allocation with a tag; every access
+// asserts the pointer's tag, and the ECC machinery — with zero extra
+// storage — detects use-after-free and buffer overflows into
+// differently-tagged memory.
+//
+//	go run ./examples/memsafety
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cachecraft"
+)
+
+const blockBytes = 32
+
+// taggedHeap is a toy allocator over tagged-ECC-protected blocks.
+type taggedHeap struct {
+	codec  *cachecraft.TaggedCodec
+	data   [][]byte
+	parity [][]byte
+	tags   []byte // current tag of each block (allocator-side bookkeeping)
+	rng    *rand.Rand
+}
+
+func newHeap(blocks int) *taggedHeap {
+	codec, err := cachecraft.NewTaggedCodec(blockBytes, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := &taggedHeap{codec: codec, rng: rand.New(rand.NewSource(7))}
+	for i := 0; i < blocks; i++ {
+		d := make([]byte, blockBytes)
+		h.data = append(h.data, d)
+		h.tags = append(h.tags, 0)
+		h.parity = append(h.parity, codec.Encode(d, []byte{0}))
+	}
+	return h
+}
+
+// alloc colors a block with a fresh tag and returns (block, tag) — the
+// "pointer" carries the tag, as in ARM MTE or IMT.
+func (h *taggedHeap) alloc(block int) byte {
+	tag := byte(h.rng.Intn(255) + 1) // never reuse tag 0 (the free color)
+	h.tags[block] = tag
+	h.parity[block] = h.codec.Encode(h.data[block], []byte{tag})
+	return tag
+}
+
+// free recolors the block so stale pointers no longer match.
+func (h *taggedHeap) free(block int) {
+	h.tags[block] = 0
+	h.parity[block] = h.codec.Encode(h.data[block], []byte{0})
+}
+
+// load checks the access with the pointer's asserted tag.
+func (h *taggedHeap) load(block int, assertedTag byte) cachecraft.TagResult {
+	return h.codec.Check(h.data[block], h.parity[block], []byte{assertedTag})
+}
+
+// store writes data under the pointer's tag (and re-encodes).
+func (h *taggedHeap) store(block int, assertedTag byte, val []byte) cachecraft.TagResult {
+	res := h.codec.Check(h.data[block], h.parity[block], []byte{assertedTag})
+	if res == cachecraft.TagOK || res == cachecraft.TagOKCorrected {
+		copy(h.data[block], val)
+		h.parity[block] = h.codec.Encode(h.data[block], []byte{assertedTag})
+	}
+	return res
+}
+
+func main() {
+	h := newHeap(4)
+
+	fmt.Println("== allocate two objects ==")
+	p0 := h.alloc(0)
+	p1 := h.alloc(1)
+	fmt.Printf("obj A → block 0, pointer tag %#02x\n", p0)
+	fmt.Printf("obj B → block 1, pointer tag %#02x\n", p1)
+
+	fmt.Println("\n== legitimate accesses ==")
+	val := make([]byte, blockBytes)
+	copy(val, "hello, protected world")
+	fmt.Printf("store A: %v\n", h.store(0, p0, val))
+	fmt.Printf("load  A: %v\n", h.load(0, p0))
+	fmt.Printf("load  B: %v\n", h.load(1, p1))
+
+	fmt.Println("\n== overflow: pointer A used on block 1 (B's memory) ==")
+	fmt.Printf("load  B via A's tag: %v\n", h.load(1, p0))
+
+	fmt.Println("\n== use-after-free ==")
+	h.free(0)
+	fmt.Printf("load A after free:   %v\n", h.load(0, p0))
+
+	fmt.Println("\n== a radiation bit flip under a valid pointer ==")
+	p2 := h.alloc(2)
+	h.data[2][5] ^= 0x10
+	fmt.Printf("load with bit error: %v (data repaired by ECC)\n", h.load(2, p2))
+
+	fmt.Println("\nAll of this detection used ZERO extra storage: the tag lives")
+	fmt.Println("inside the ECC code space (Alias-Free Tagged ECC / IMT).")
+}

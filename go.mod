@@ -1,0 +1,3 @@
+module cachecraft
+
+go 1.22

@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig16RunsQuick(t *testing.T) {
+	r := NewRunner(quickBase())
+	var buf bytes.Buffer
+	e, err := ByID("fig16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(r, quickBase(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ideal") {
+		t.Fatalf("fig16 output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,142 @@
+// Package bench defines the evaluation harness: one experiment per table
+// and figure of the paper-style evaluation, all driven through a
+// memoizing runner so that figures sharing the same simulations (e.g. the
+// performance figure and the traffic-breakdown figure) pay for each run
+// once.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/core"
+	"cachecraft/internal/gpu"
+	"cachecraft/internal/protect"
+	"cachecraft/internal/schemes"
+)
+
+// Spec names one simulation: a configuration (identified by CfgID because
+// config.GPU is not comparable), a workload, and a scheme variant.
+type Spec struct {
+	CfgID    string
+	Workload string
+	Variant  string
+}
+
+// Runner executes simulations on demand and memoizes results.
+type Runner struct {
+	mu      sync.Mutex
+	memo    map[Spec]gpu.Result
+	configs map[string]config.GPU
+	facts   map[string]protect.Factory
+}
+
+// NewRunner builds a runner seeded with the base configuration under id
+// "base" and the four standard scheme variants.
+func NewRunner(base config.GPU) *Runner {
+	r := &Runner{
+		memo:    make(map[Spec]gpu.Result),
+		configs: map[string]config.GPU{"base": base},
+		facts:   make(map[string]protect.Factory),
+	}
+	for _, s := range schemes.Names() {
+		f, err := schemes.ByName(s)
+		if err != nil {
+			panic(err) // statically impossible: Names() lists registered schemes
+		}
+		r.facts[s] = f
+	}
+	return r
+}
+
+// AddConfig registers a configuration variant (sensitivity sweeps).
+func (r *Runner) AddConfig(id string, cfg config.GPU) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.configs[id] = cfg
+}
+
+// AddVariant registers a scheme variant (ablations) under the given name.
+func (r *Runner) AddVariant(name string, f protect.Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.facts[name] = f
+}
+
+// AddCacheCraftVariant registers a CacheCraft ablation variant.
+func (r *Runner) AddCacheCraftVariant(name string, opt core.Options) {
+	r.AddVariant(name, schemes.CacheCraftWith(opt))
+}
+
+// Result runs (or replays) one simulation.
+func (r *Runner) Result(s Spec) (gpu.Result, error) {
+	r.mu.Lock()
+	if res, ok := r.memo[s]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	cfg, okC := r.configs[s.CfgID]
+	f, okF := r.facts[s.Variant]
+	r.mu.Unlock()
+	if !okC {
+		return gpu.Result{}, fmt.Errorf("bench: unknown config %q", s.CfgID)
+	}
+	if !okF {
+		return gpu.Result{}, fmt.Errorf("bench: unknown variant %q", s.Variant)
+	}
+	m, err := gpu.New(cfg, s.Workload, f)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return gpu.Result{}, fmt.Errorf("bench: %s/%s/%s: %w", s.CfgID, s.Workload, s.Variant, err)
+	}
+	res.Workload = s.Workload
+	res.Scheme = s.Variant
+	r.mu.Lock()
+	r.memo[s] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// MustResult is Result for experiment code where configuration and
+// variants are statically registered; it panics on error.
+func (r *Runner) MustResult(s Spec) gpu.Result {
+	res, err := r.Result(s)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Runs reports how many distinct simulations have been executed.
+func (r *Runner) Runs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.memo)
+}
+
+// StandardSchemes lists the four evaluation schemes in order.
+func StandardSchemes() []string { return schemes.All() }
+
+// TotalDRAMBytes sums a result's traffic classes.
+func TotalDRAMBytes(res gpu.Result) uint64 {
+	var total uint64
+	for _, v := range res.DRAMBytes {
+		total += v
+	}
+	return total
+}
+
+// sortedKeys returns map keys in sorted order (deterministic rendering).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,365 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:        "t",
+		SizeBytes:   16 * 1024,
+		Ways:        4,
+		LineBytes:   128,
+		SectorBytes: 32,
+		Repl:        LRU,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{Name: "a", SizeBytes: 0, Ways: 4, LineBytes: 128, SectorBytes: 32},
+		{Name: "b", SizeBytes: 16384, Ways: 4, LineBytes: 100, SectorBytes: 32},
+		{Name: "c", SizeBytes: 16384, Ways: 3, LineBytes: 128, SectorBytes: 32}, // 42.66 sets
+		{Name: "d", SizeBytes: 24576, Ways: 4, LineBytes: 128, SectorBytes: 32}, // 48 sets, not pow2
+		{Name: "e", SizeBytes: 16384, Ways: 4, LineBytes: 128, SectorBytes: 1},  // >64 sectors
+	}
+	for _, cfg := range bads {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %q accepted: %+v", cfg.Name, cfg)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(testConfig())
+	addr := uint64(0x1000)
+	if got := c.Access(addr, false); got != Miss {
+		t.Fatalf("cold access = %v", got)
+	}
+	c.Fill(c.LineAddr(addr), c.SectorMask(addr), 0)
+	if got := c.Access(addr, false); got != Hit {
+		t.Fatalf("after fill = %v", got)
+	}
+	// A different sector of the same line is a sector miss.
+	if got := c.Access(addr+32, false); got != SectorMiss {
+		t.Fatalf("other sector = %v", got)
+	}
+	if c.Stats.Get("hits") != 1 || c.Stats.Get("misses") != 1 || c.Stats.Get("sector_misses") != 1 {
+		t.Fatalf("stats: %s", c.Stats)
+	}
+}
+
+func TestSectorGeometryHelpers(t *testing.T) {
+	c := New(testConfig())
+	if c.SectorsPerLine() != 4 {
+		t.Fatalf("sectors/line = %d", c.SectorsPerLine())
+	}
+	if c.LineAddr(0x1234) != 0x1200 {
+		t.Fatalf("LineAddr = %#x", c.LineAddr(0x1234))
+	}
+	if c.SectorIndex(0x1234) != 1 {
+		t.Fatalf("SectorIndex = %d", c.SectorIndex(0x1234))
+	}
+	if c.SectorMask(0x1234) != 0b0010 {
+		t.Fatalf("SectorMask = %#b", c.SectorMask(0x1234))
+	}
+}
+
+func TestWriteMarksDirtyAndEvictionReportsIt(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg)
+	addr := uint64(0)
+	c.Fill(0, 0b0001, 0)
+	if got := c.Access(addr, true); got != Hit {
+		t.Fatalf("write hit = %v", got)
+	}
+	if c.DirtyMask(0) != 0b0001 {
+		t.Fatalf("dirty mask = %#b", c.DirtyMask(0))
+	}
+	// Fill conflicting lines until this one is evicted; the eviction must
+	// carry the dirty mask. Same set = same line number modulo numSets.
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	stride := uint64(numSets * cfg.LineBytes)
+	var ev *Eviction
+	for i := 1; (ev == nil || ev.DirtyMask == 0) && i <= cfg.Ways+1; i++ {
+		ev = c.Fill(uint64(i)*stride, 0b1111, 0)
+	}
+	if ev == nil || ev.DirtyMask == 0 {
+		t.Fatal("no dirty eviction after overfilling the set")
+	}
+	if ev.LineAddr != 0 || ev.DirtyMask != 0b0001 || ev.ValidMask != 0b0001 {
+		t.Fatalf("eviction = %+v", ev)
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg)
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	stride := uint64(numSets * cfg.LineBytes)
+	// Fill 4 ways of set 0.
+	for i := 0; i < 4; i++ {
+		c.Fill(uint64(i)*stride, 0b1111, 0)
+	}
+	// Touch lines 0,1,2 — line 3 is now LRU.
+	for i := 0; i < 3; i++ {
+		c.Access(uint64(i)*stride, false)
+	}
+	c.Fill(4*stride, 0b1111, 0)
+	if c.ValidMask(3*stride) != 0 {
+		t.Fatal("line 3 should have been the LRU victim")
+	}
+	for i := 0; i < 3; i++ {
+		if c.ValidMask(uint64(i)*stride) == 0 {
+			t.Fatalf("recently used line %d was evicted", i)
+		}
+	}
+}
+
+func TestSRRIPResistsStreaming(t *testing.T) {
+	cfg := testConfig()
+	cfg.Repl = SRRIP
+	c := New(cfg)
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	stride := uint64(numSets * cfg.LineBytes)
+	// A hot line, re-referenced between streaming fills.
+	hot := uint64(0)
+	c.Fill(hot, 0b1111, 0)
+	c.Access(hot, false) // promote to rrpv=0
+	for i := 1; i <= 16; i++ {
+		c.Fill(uint64(i)*stride, 0b1111, 0)
+		c.Access(hot, false)
+	}
+	if c.ValidMask(hot) == 0 {
+		t.Fatal("SRRIP evicted the hot line during a streaming sweep")
+	}
+}
+
+func TestFillMergeKeepsDirty(t *testing.T) {
+	c := New(testConfig())
+	c.Fill(0, 0b0001, 0b0001) // dirty fill (write-allocate)
+	c.Fill(0, 0b0011, 0)      // later clean fill must not clean sector 0
+	if c.DirtyMask(0) != 0b0001 {
+		t.Fatalf("dirty mask = %#b, want 0b0001", c.DirtyMask(0))
+	}
+	if c.ValidMask(0) != 0b0011 {
+		t.Fatalf("valid mask = %#b, want 0b0011", c.ValidMask(0))
+	}
+}
+
+func TestDirtyMaskLimitedToFilledSectors(t *testing.T) {
+	c := New(testConfig())
+	c.Fill(0, 0b0001, 0b1111) // dirty mask wider than fill mask
+	if c.DirtyMask(0) != 0b0001 {
+		t.Fatalf("dirty leaked beyond filled sectors: %#b", c.DirtyMask(0))
+	}
+}
+
+func TestMisalignedFillPanics(t *testing.T) {
+	c := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned fill must panic")
+		}
+	}()
+	c.Fill(32, 1, 0)
+}
+
+func TestMarkDirtyAndClean(t *testing.T) {
+	c := New(testConfig())
+	c.Fill(0, 0b0001, 0)
+	c.MarkDirty(0)
+	if c.DirtyMask(0) != 0b0001 {
+		t.Fatal("MarkDirty failed")
+	}
+	c.CleanSector(0)
+	if c.DirtyMask(0) != 0 {
+		t.Fatal("CleanSector failed")
+	}
+	// Cleaning an absent sector is a no-op.
+	c.CleanSector(0x100000)
+}
+
+func TestMarkDirtyAbsentPanics(t *testing.T) {
+	c := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkDirty on absent sector must panic")
+		}
+	}()
+	c.MarkDirty(0x4000)
+}
+
+func TestInvalidateLine(t *testing.T) {
+	c := New(testConfig())
+	c.Fill(0, 0b0011, 0b0010)
+	if d := c.InvalidateLine(0); d != 0b0010 {
+		t.Fatalf("invalidate returned %#b", d)
+	}
+	if c.Probe(0) != Miss {
+		t.Fatal("line still present after invalidate")
+	}
+	if d := c.InvalidateLine(0x8000); d != 0 {
+		t.Fatal("invalidating absent line must return 0")
+	}
+}
+
+func TestWalkVisitsAllValidLines(t *testing.T) {
+	c := New(testConfig())
+	addrs := []uint64{0, 0x1000, 0x2000}
+	for _, a := range addrs {
+		c.Fill(a, 0b1111, 0b0001)
+	}
+	seen := map[uint64]bool{}
+	c.Walk(func(lineAddr, vmask, dmask uint64) {
+		seen[lineAddr] = true
+		if vmask != 0b1111 || dmask != 0b0001 {
+			t.Fatalf("walk masks %#b/%#b", vmask, dmask)
+		}
+	})
+	if len(seen) != len(addrs) {
+		t.Fatalf("walk visited %d lines, want %d", len(seen), len(addrs))
+	}
+}
+
+// Property: valid sectors only ever come from fills; a hit never appears
+// without a preceding fill covering that sector, and dirty ⊆ valid.
+func TestCacheInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(testConfig())
+		filled := map[uint64]bool{} // sector-granular ground truth (may be stale after eviction)
+		for op := 0; op < 2000; op++ {
+			addr := uint64(rng.Intn(256)) * 32
+			switch rng.Intn(3) {
+			case 0:
+				out := c.Access(addr, rng.Intn(2) == 0)
+				if out == Hit && !filled[addr] {
+					return false // hit fabricated from nowhere
+				}
+			case 1:
+				mask := uint64(rng.Intn(15) + 1)
+				la := c.LineAddr(addr)
+				c.Fill(la, mask, 0)
+				for s := 0; s < 4; s++ {
+					if mask&(1<<s) != 0 {
+						filled[la+uint64(s*32)] = true
+					}
+				}
+			case 2:
+				la := c.LineAddr(addr)
+				c.InvalidateLine(la)
+				for s := 0; s < 4; s++ {
+					delete(filled, la+uint64(s*32))
+				}
+			}
+			// dirty ⊆ valid for the touched line.
+			la := c.LineAddr(addr)
+			if c.DirtyMask(la)&^c.ValidMask(la) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRMergeAndComplete(t *testing.T) {
+	m := NewMSHR[int](4, 4)
+	res, fetch := m.Allocate(0x100, 0b0001, 1)
+	if res != MSHRNew || fetch != 0b0001 {
+		t.Fatalf("first allocate: %v %#b", res, fetch)
+	}
+	// Same sector merges with no new fetch.
+	res, fetch = m.Allocate(0x100, 0b0001, 2)
+	if res != MSHRMerged || fetch != 0 {
+		t.Fatalf("same-sector merge: %v %#b", res, fetch)
+	}
+	// New sector merges and requests the extra fetch.
+	res, fetch = m.Allocate(0x100, 0b0010, 3)
+	if res != MSHRMerged || fetch != 0b0010 {
+		t.Fatalf("new-sector merge: %v %#b", res, fetch)
+	}
+	if m.Pending(0x100) != 0b0011 {
+		t.Fatalf("pending = %#b", m.Pending(0x100))
+	}
+	targets := m.Complete(0x100)
+	if len(targets) != 3 || targets[0] != 1 || targets[1] != 2 || targets[2] != 3 {
+		t.Fatalf("targets = %v", targets)
+	}
+	if m.InFlight() != 0 {
+		t.Fatal("entry not retired")
+	}
+	if m.Complete(0x100) != nil {
+		t.Fatal("completing absent entry must return nil")
+	}
+}
+
+func TestMSHRCapacityLimits(t *testing.T) {
+	m := NewMSHR[int](2, 2)
+	m.Allocate(0x100, 1, 0)
+	m.Allocate(0x200, 1, 0)
+	if res, _ := m.Allocate(0x300, 1, 0); res != MSHRFull {
+		t.Fatalf("entry overflow: %v", res)
+	}
+	if !m.Full() {
+		t.Fatal("Full() should report true")
+	}
+	// Target overflow on an existing entry.
+	m.Allocate(0x100, 1, 1)
+	if res, _ := m.Allocate(0x100, 1, 2); res != MSHRFull {
+		t.Fatalf("target overflow: %v", res)
+	}
+}
+
+func TestMSHRInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid MSHR geometry must panic")
+		}
+	}()
+	NewMSHR[int](0, 1)
+}
+
+func TestStringersAndAccessors(t *testing.T) {
+	if LRU.String() != "lru" || SRRIP.String() != "srrip" {
+		t.Fatal("policy strings")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy must render")
+	}
+	if Miss.String() != "miss" || SectorMiss.String() != "sector-miss" || Hit.String() != "hit" {
+		t.Fatal("outcome strings")
+	}
+	if Outcome(9).String() == "" {
+		t.Fatal("unknown outcome must render")
+	}
+	c := New(testConfig())
+	if c.Config().Name != "t" {
+		t.Fatal("Config accessor")
+	}
+	if MSHRNew.String() != "new" || MSHRMerged.String() != "merged" || MSHRFull.String() != "full" {
+		t.Fatal("mshr result strings")
+	}
+	if MSHRResult(9).String() == "" {
+		t.Fatal("unknown mshr result must render")
+	}
+}
+
+func TestMSHRPendingMask(t *testing.T) {
+	m := NewMSHR[int](4, 4)
+	if m.Pending(0x100) != 0 {
+		t.Fatal("absent entry must report zero pending")
+	}
+	m.Allocate(0x100, 0b0110, 1)
+	if m.Pending(0x100) != 0b0110 {
+		t.Fatalf("pending = %#b", m.Pending(0x100))
+	}
+}

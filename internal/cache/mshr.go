@@ -1,0 +1,104 @@
+package cache
+
+import "fmt"
+
+// MSHR is a miss status holding register file: it tracks outstanding line
+// fills and merges requests to sectors that are already being fetched, so a
+// burst of misses to one line costs one memory access. T is the caller's
+// per-request bookkeeping payload, returned when the fill completes.
+type MSHR[T any] struct {
+	entries    map[uint64]*mshrEntry[T]
+	maxEntries int
+	maxTargets int
+}
+
+type mshrEntry[T any] struct {
+	pendingMask uint64 // sectors requested from the next level
+	targets     []T
+}
+
+// NewMSHR builds an MSHR file with the given entry and per-entry target
+// limits.
+func NewMSHR[T any](maxEntries, maxTargets int) *MSHR[T] {
+	if maxEntries <= 0 || maxTargets <= 0 {
+		panic(fmt.Sprintf("cache: invalid MSHR geometry %d/%d", maxEntries, maxTargets))
+	}
+	return &MSHR[T]{
+		entries:    make(map[uint64]*mshrEntry[T]),
+		maxEntries: maxEntries,
+		maxTargets: maxTargets,
+	}
+}
+
+// Result classifies an Allocate outcome.
+type MSHRResult int
+
+const (
+	// MSHRNew: a new entry was created; the caller must issue the fetch.
+	MSHRNew MSHRResult = iota
+	// MSHRMerged: an existing entry absorbed the request; no fetch needed
+	// for already-pending sectors, but the caller must fetch any sectors
+	// newly added to the pending mask (see the returned fetch mask).
+	MSHRMerged
+	// MSHRFull: no entry or target space; the requester must stall.
+	MSHRFull
+)
+
+// String renders the result.
+func (r MSHRResult) String() string {
+	switch r {
+	case MSHRNew:
+		return "new"
+	case MSHRMerged:
+		return "merged"
+	case MSHRFull:
+		return "full"
+	default:
+		return fmt.Sprintf("MSHRResult(%d)", int(r))
+	}
+}
+
+// Allocate registers a miss on lineAddr for the given sector mask,
+// attaching target for completion callback. It returns the sectors the
+// caller must actually fetch (those not already pending).
+func (m *MSHR[T]) Allocate(lineAddr uint64, sectorMask uint64, target T) (MSHRResult, uint64) {
+	if e, ok := m.entries[lineAddr]; ok {
+		if len(e.targets) >= m.maxTargets {
+			return MSHRFull, 0
+		}
+		fetch := sectorMask &^ e.pendingMask
+		e.pendingMask |= sectorMask
+		e.targets = append(e.targets, target)
+		return MSHRMerged, fetch
+	}
+	if len(m.entries) >= m.maxEntries {
+		return MSHRFull, 0
+	}
+	m.entries[lineAddr] = &mshrEntry[T]{pendingMask: sectorMask, targets: []T{target}}
+	return MSHRNew, sectorMask
+}
+
+// Pending reports the pending sector mask for a line (0 when no entry).
+func (m *MSHR[T]) Pending(lineAddr uint64) uint64 {
+	if e, ok := m.entries[lineAddr]; ok {
+		return e.pendingMask
+	}
+	return 0
+}
+
+// Complete retires the entry for lineAddr and returns its targets in
+// arrival order. Completing an absent entry returns nil.
+func (m *MSHR[T]) Complete(lineAddr uint64) []T {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, lineAddr)
+	return e.targets
+}
+
+// InFlight reports the number of live entries.
+func (m *MSHR[T]) InFlight() int { return len(m.entries) }
+
+// Full reports whether a new entry can be allocated.
+func (m *MSHR[T]) Full() bool { return len(m.entries) >= m.maxEntries }

@@ -1,0 +1,67 @@
+package config
+
+import "testing"
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Quick().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*GPU)
+	}{
+		{"zero SMs", func(g *GPU) { g.NumSMs = 0 }},
+		{"zero outstanding", func(g *GPU) { g.MaxOutstanding = 0 }},
+		{"l2 not divisible by banks", func(g *GPU) { g.L2Banks = 7 }},
+		{"unknown layout", func(g *GPU) { g.Layout = "diagonal" }},
+		{"zero accesses", func(g *GPU) { g.AccessesPerSM = 0 }},
+		{"zero footprint", func(g *GPU) { g.FootprintBytes = 0 }},
+		{"zero max cycles", func(g *GPU) { g.MaxCycles = 0 }},
+		{"bad L1", func(g *GPU) { g.L1.LineBytes = 100 }},
+		{"bad bank size", func(g *GPU) { g.L2.SizeBytes = 3 << 20 }}, // 3MiB/8 banks → 24576 sets? not pow2
+		{"bad dram", func(g *GPU) { g.DRAM.Channels = 0 }},
+		{"bad geometry", func(g *GPU) { g.Geometry.GranuleBytes = 100 }},
+	}
+	for _, m := range mutations {
+		g := Default()
+		m.mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Fatalf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestBuildMapperBothLayouts(t *testing.T) {
+	g := Default()
+	for _, lay := range []string{"linear", "row-local"} {
+		g.Layout = lay
+		m, err := g.BuildMapper()
+		if err != nil {
+			t.Fatalf("%s: %v", lay, err)
+		}
+		if m.Name() != lay {
+			t.Fatalf("mapper %q for layout %q", m.Name(), lay)
+		}
+		if m.ProtectedBytes() < g.FootprintBytes {
+			t.Fatalf("%s: protected %d < footprint %d", lay, m.ProtectedBytes(), g.FootprintBytes)
+		}
+	}
+	g.Layout = "nope"
+	if _, err := g.BuildMapper(); err == nil {
+		t.Fatal("unknown layout accepted by BuildMapper")
+	}
+}
+
+func TestQuickIsSmallerThanDefault(t *testing.T) {
+	d, q := Default(), Quick()
+	if q.NumSMs >= d.NumSMs || q.AccessesPerSM >= d.AccessesPerSM ||
+		q.FootprintBytes >= d.FootprintBytes {
+		t.Fatal("Quick must be strictly smaller than Default")
+	}
+}

@@ -1,0 +1,600 @@
+// Package core implements CacheCraft, the reconstructed-caching memory
+// protection controller this repository reproduces. The controller turns
+// the traffic that inline ECC forces on the memory system into useful
+// cache contents instead of discarding it:
+//
+//   - Granule reconstruction (R): a demand miss needs its granule's
+//     redundancy block anyway, and the granule's sibling sectors sit in
+//     the same DRAM row; CacheCraft fetches them on the open row and
+//     inserts them into the L2, converting protection overfetch into
+//     prefetch.
+//   - Redundancy cache (RC): a small dedicated cache for redundancy
+//     blocks, capturing the 1-block-covers-8-sectors spatial reuse without
+//     stealing L2 capacity from demand data.
+//   - Reuse predictor (P): a region-indexed saturating-counter table that
+//     learns whether reconstructed sectors get used before eviction and
+//     throttles reconstruction for pollution-prone regions.
+//   - Write-coalescing buffer (W): redundancy updates from writebacks are
+//     buffered per block; once every sector of a granule has been written
+//     the block can be written blind, eliminating the redundancy
+//     read-modify-write.
+//
+// The mechanisms are independently toggleable for the ablation study
+// (Fig. 9).
+package core
+
+import (
+	"cachecraft/internal/cache"
+	"cachecraft/internal/mem"
+	"cachecraft/internal/protect"
+	"cachecraft/internal/sim"
+)
+
+// Options configures CacheCraft. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// Reconstruct enables granule reconstruction (R).
+	Reconstruct bool
+	// UseRC enables the dedicated redundancy cache (RC).
+	UseRC bool
+	// Predictor enables the reconstruction reuse predictor (P); without it
+	// reconstruction is always on (when Reconstruct is).
+	Predictor bool
+	// WBuf enables the write-coalescing buffer (W).
+	WBuf bool
+
+	// RC geometry.
+	RCSizeBytes int
+	RCWays      int
+	// RCLatency is the redundancy-cache hit latency.
+	RCLatency sim.Cycle
+
+	// Predictor geometry: regions of 2^PredRegionBits bytes map onto a
+	// table of PredEntries two-bit counters.
+	PredRegionBits int
+	PredEntries    int
+
+	// Write buffer geometry.
+	WBufEntries int
+	// WBufTimeout flushes a partially-coalesced entry after this many
+	// cycles.
+	WBufTimeout sim.Cycle
+}
+
+// DefaultOptions returns the full CacheCraft configuration used by the
+// main evaluation: all four mechanisms on, 64 KiB RC, 64-entry write
+// buffer.
+func DefaultOptions() Options {
+	return Options{
+		Reconstruct:    true,
+		UseRC:          true,
+		Predictor:      true,
+		WBuf:           true,
+		RCSizeBytes:    64 << 10,
+		RCWays:         16,
+		RCLatency:      8,
+		PredRegionBits: 14,
+		PredEntries:    1024,
+		WBufEntries:    64,
+		WBufTimeout:    2000,
+	}
+}
+
+// NewFactory returns a protect.Factory building CacheCraft controllers
+// with the given options.
+func NewFactory(opt Options) protect.Factory {
+	return func(env *protect.Env) protect.Scheme { return New(env, opt) }
+}
+
+// CacheCraft is the controller. It implements protect.Scheme and
+// protect-side reconstruction feedback.
+type CacheCraft struct {
+	env *protect.Env
+	opt Options
+
+	rc         *cache.Cache
+	pendingRed map[uint64]*redFetch
+
+	// reconInFlight tracks reconstruction fetches by sector address; a
+	// demand miss arriving while its sector is already being reconstructed
+	// merges with the fetch instead of duplicating it.
+	reconInFlight map[uint64][]func(sim.Cycle)
+
+	pred       []uint8
+	sampleTick uint64
+
+	wbuf    map[uint64]*wbufEntry
+	wbufGen uint64
+}
+
+type redFetch struct {
+	waiters []func(sim.Cycle)
+}
+
+type wbufEntry struct {
+	mask uint64 // granule sectors whose checks are known
+	gen  uint64 // generation for timeout validation
+}
+
+// New builds a CacheCraft controller.
+func New(env *protect.Env, opt Options) *CacheCraft {
+	c := &CacheCraft{
+		env:           env,
+		opt:           opt,
+		pendingRed:    make(map[uint64]*redFetch),
+		reconInFlight: make(map[uint64][]func(sim.Cycle)),
+		wbuf:          make(map[uint64]*wbufEntry),
+	}
+	if opt.UseRC {
+		c.rc = cache.New(cache.Config{
+			Name:        "rc",
+			SizeBytes:   opt.RCSizeBytes,
+			Ways:        opt.RCWays,
+			LineBytes:   env.Map.Geometry().RedBlockBytes,
+			SectorBytes: env.Map.Geometry().RedBlockBytes,
+			Repl:        cache.LRU,
+		})
+	}
+	if opt.Predictor {
+		n := opt.PredEntries
+		if n <= 0 {
+			n = 1024
+		}
+		c.pred = make([]uint8, n)
+		for i := range c.pred {
+			c.pred[i] = predMax // optimistic start: reconstruct until proven wasteful
+		}
+	}
+	return c
+}
+
+// Name identifies the scheme.
+func (c *CacheCraft) Name() string { return "cachecraft" }
+
+// RC exposes the redundancy cache for tests and stats (nil when disabled).
+func (c *CacheCraft) RC() *cache.Cache { return c.rc }
+
+// taggedRed returns the RedTag-qualified redundancy block address covering
+// a data address.
+func (c *CacheCraft) taggedRed(dataAddr uint64) uint64 {
+	return protect.RedTag | c.env.Map.RedundancyAddr(dataAddr)
+}
+
+// granuleSectorIndex converts a data sector address to its index within
+// its granule.
+func (c *CacheCraft) granuleSectorIndex(sa uint64) int {
+	geo := c.env.Map.Geometry()
+	return int((sa - c.env.Map.GranuleBase(sa)) / uint64(geo.SectorBytes))
+}
+
+// --- Redundancy read path -------------------------------------------------
+
+// redReady invokes ready once the redundancy block covering lineAddr is
+// available, trying the write buffer, the RC, and DRAM in that order.
+// neededMask is the granule-sector mask the caller must verify (for write
+// buffer forwarding).
+func (c *CacheCraft) redReady(now sim.Cycle, lineAddr uint64, neededMask uint64, ready func(sim.Cycle)) {
+	env := c.env
+	tagged := c.taggedRed(lineAddr)
+
+	// Forward from the write buffer when it already holds the needed
+	// checks (they are newer than DRAM's).
+	if c.opt.WBuf {
+		if e, ok := c.wbuf[tagged]; ok && e.mask&neededMask == neededMask {
+			env.Stats.Inc("red_wbuf_fwd")
+			env.Eng.At(now, ready)
+			return
+		}
+	}
+	if c.opt.UseRC {
+		if c.rc.Access(tagged, false) == cache.Hit {
+			env.Stats.Inc("red_rc_hits")
+			env.Eng.At(now+c.opt.RCLatency, ready)
+			return
+		}
+	}
+	if f, ok := c.pendingRed[tagged]; ok {
+		env.Stats.Inc("red_merged")
+		f.waiters = append(f.waiters, ready)
+		return
+	}
+	f := &redFetch{waiters: []func(sim.Cycle){ready}}
+	c.pendingRed[tagged] = f
+	env.Stats.Inc("red_reads_dram")
+	env.DRAM.Submit(now, mem.Request{
+		Addr:  tagged &^ protect.RedTag,
+		Bytes: env.Map.Geometry().RedBlockBytes,
+		Class: mem.Redundancy,
+		Done: func(at sim.Cycle) {
+			delete(c.pendingRed, tagged)
+			c.insertRC(at, tagged, false)
+			for _, w := range f.waiters {
+				w(at)
+			}
+		},
+	})
+}
+
+// insertRC fills a redundancy block into the RC, writing back any dirty
+// victim.
+func (c *CacheCraft) insertRC(now sim.Cycle, tagged uint64, dirty bool) {
+	if !c.opt.UseRC {
+		return
+	}
+	var dmask uint64
+	if dirty {
+		dmask = 1
+	}
+	if ev := c.rc.Fill(tagged, 1, dmask); ev != nil && ev.DirtyMask != 0 {
+		c.env.Stats.Inc("red_rc_dirty_evictions")
+		c.env.DRAM.Submit(now, mem.Request{
+			Addr:  ev.LineAddr &^ protect.RedTag,
+			Write: true,
+			Bytes: c.env.Map.Geometry().RedBlockBytes,
+			Class: mem.Redundancy,
+		})
+	}
+}
+
+// --- Reconstruction -------------------------------------------------------
+
+// predIndex maps a data address to its predictor slot.
+func (c *CacheCraft) predIndex(addr uint64) int {
+	bits := c.opt.PredRegionBits
+	if bits <= 0 {
+		bits = 14
+	}
+	return int((addr >> uint(bits)) % uint64(len(c.pred)))
+}
+
+// predMax is the saturating-counter ceiling; only saturated regions
+// reconstruct. Waste decrements twice as fast as use increments, so mixed
+// regions stay off — extra traffic on a saturated memory system costs
+// more than a missed prefetch saves.
+const predMax = 3
+
+// shouldReconstruct consults the predictor (always true when disabled).
+// Regions predicted useless still reconstruct on a 1-in-8 sample so the
+// predictor can relearn when a phase change brings locality back.
+func (c *CacheCraft) shouldReconstruct(addr uint64) bool {
+	if !c.opt.Reconstruct {
+		return false
+	}
+	if !c.opt.Predictor {
+		return true
+	}
+	return c.pred[c.predIndex(addr)] >= predMax
+}
+
+// shouldProbe rate-limits exploratory reconstruction for predicted-off
+// regions: a 1-in-64 sample of a single sector keeps the predictor able to
+// relearn at negligible traffic cost.
+func (c *CacheCraft) shouldProbe() bool {
+	c.sampleTick++
+	return c.sampleTick&63 == 0
+}
+
+// ReconstructedUse receives usage feedback from the L2: used is true when
+// a reconstructed sector was referenced before eviction.
+func (c *CacheCraft) ReconstructedUse(addr uint64, used bool) {
+	if used {
+		c.env.Stats.Inc("reconstruct_used")
+	} else {
+		c.env.Stats.Inc("reconstruct_wasted")
+	}
+	if !c.opt.Predictor {
+		return
+	}
+	i := c.predIndex(addr)
+	if used {
+		if c.pred[i] < predMax {
+			c.pred[i]++
+		}
+		return
+	}
+	// Waste is punished harder than use is rewarded.
+	if c.pred[i] >= 2 {
+		c.pred[i] -= 2
+	} else {
+		c.pred[i] = 0
+	}
+}
+
+// reconstruct fetches the granule's sibling sectors that are neither
+// cached nor in flight and inserts them into the L2 as reconstructed
+// sectors. Only the demanded line and the granule's forward lines are
+// considered: access streams overwhelmingly walk forward, and backward
+// siblings of a mid-granule miss are mostly dead weight. In probe mode
+// only the first eligible sector is fetched (predictor exploration).
+func (c *CacheCraft) reconstruct(now sim.Cycle, lineAddr uint64, demandMask uint64, probe bool) {
+	env := c.env
+	geo := env.Map.Geometry()
+	gbase := env.Map.GranuleBase(lineAddr)
+	spl := geo.SectorsPerLine()
+	for s := 0; s < geo.SectorsPerGranule(); s++ {
+		sa := gbase + uint64(s*geo.SectorBytes)
+		if sa < lineAddr {
+			continue // backward sibling: skip
+		}
+		// Skip the demanded sectors themselves.
+		if sa < lineAddr+uint64(geo.LineBytes) {
+			idx := int(sa-lineAddr) / geo.SectorBytes
+			if idx < spl && demandMask&(1<<idx) != 0 {
+				continue
+			}
+		}
+		if env.L2.Present(sa) || env.L2.Pending(sa) {
+			continue
+		}
+		if _, ok := c.reconInFlight[sa]; ok {
+			continue
+		}
+		env.Stats.Inc("reconstruct_sectors")
+		c.reconInFlight[sa] = nil
+		env.DRAM.Submit(now, mem.Request{
+			Addr:  env.Map.DataPhys(sa),
+			Bytes: geo.SectorBytes,
+			Class: mem.Reconstruct,
+			Done: func(at sim.Cycle) {
+				waiters := c.reconInFlight[sa]
+				delete(c.reconInFlight, sa)
+				if len(waiters) > 0 {
+					// A demand miss merged with this fetch. Traffic-wise
+					// this is neutral (the demand would have fetched the
+					// sector anyway), so it does NOT train the predictor —
+					// only genuine later-use is evidence that prefetching
+					// the granule was worth extra bandwidth.
+					env.Stats.Inc("reconstruct_merged")
+					env.L2.Insert(at, sa, false)
+					for _, w := range waiters {
+						w(at)
+					}
+					return
+				}
+				env.L2.InsertReconstructed(at, sa)
+			},
+		})
+		if probe {
+			return
+		}
+	}
+}
+
+// --- Scheme interface -----------------------------------------------------
+
+// ReadMiss fetches the demanded sectors, obtains the covering redundancy
+// (write buffer / RC / DRAM), optionally reconstructs the rest of the
+// granule, and completes after decode.
+func (c *CacheCraft) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
+	env := c.env
+	geo := env.Map.Geometry()
+	sectors := make([]uint64, 0, geo.SectorsPerLine())
+	neededMask := uint64(0)
+	for s := 0; s < geo.SectorsPerLine(); s++ {
+		if mask&(1<<s) != 0 {
+			sa := lineAddr + uint64(s*geo.SectorBytes)
+			sectors = append(sectors, sa)
+			neededMask |= 1 << c.granuleSectorIndex(sa)
+		}
+	}
+	finish := func(at sim.Cycle) { env.FinishDecode(at, lineAddr, done) }
+	remaining := len(sectors) + 1
+	join := func(at sim.Cycle) {
+		remaining--
+		if remaining == 0 {
+			finish(at)
+		}
+	}
+	for _, sa := range sectors {
+		if waiters, ok := c.reconInFlight[sa]; ok {
+			// The sector is already on its way as a reconstruction; merge.
+			c.reconInFlight[sa] = append(waiters, join)
+			continue
+		}
+		env.DRAM.Submit(now, mem.Request{
+			Addr:  env.Map.DataPhys(sa),
+			Bytes: geo.SectorBytes,
+			Class: class,
+			Done:  join,
+		})
+	}
+	c.redReady(now, lineAddr, neededMask, join)
+	if class == mem.Demand && c.opt.Reconstruct {
+		switch {
+		case c.shouldReconstruct(lineAddr):
+			c.reconstruct(now, lineAddr, mask, false)
+		case c.shouldProbe():
+			c.reconstruct(now, lineAddr, mask, true)
+		}
+	}
+}
+
+// Writeback writes dirty data sectors and coalesces the redundancy update
+// through the RC and the write buffer.
+func (c *CacheCraft) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64) {
+	env := c.env
+	geo := env.Map.Geometry()
+	if lineAddr&protect.RedTag != 0 {
+		// CacheCraft never inserts redundancy into the L2, but stay safe
+		// against future wiring: write tagged lines straight out.
+		for s := 0; s < geo.SectorsPerLine(); s++ {
+			if dirtyMask&(1<<s) != 0 {
+				env.DRAM.Submit(now, mem.Request{
+					Addr:  (lineAddr &^ protect.RedTag) + uint64(s*geo.SectorBytes),
+					Write: true,
+					Bytes: geo.SectorBytes,
+					Class: mem.Redundancy,
+				})
+			}
+		}
+		return
+	}
+	var writtenMask uint64
+	for s := 0; s < geo.SectorsPerLine(); s++ {
+		if dirtyMask&(1<<s) == 0 {
+			continue
+		}
+		sa := lineAddr + uint64(s*geo.SectorBytes)
+		writtenMask |= 1 << c.granuleSectorIndex(sa)
+		env.DRAM.Submit(now, mem.Request{
+			Addr:  env.Map.DataPhys(sa),
+			Write: true,
+			Bytes: geo.SectorBytes,
+			Class: mem.Writeback,
+		})
+	}
+	if writtenMask != 0 {
+		c.redUpdate(now, lineAddr, writtenMask)
+	}
+}
+
+// redUpdate folds new check bytes for the given granule sectors into the
+// redundancy block, avoiding the read-modify-write whenever possible.
+func (c *CacheCraft) redUpdate(now sim.Cycle, lineAddr uint64, writtenMask uint64) {
+	env := c.env
+	geo := env.Map.Geometry()
+	tagged := c.taggedRed(lineAddr)
+	fullMask := uint64(1)<<geo.SectorsPerGranule() - 1
+
+	// A cached copy absorbs the update in place.
+	if c.opt.UseRC && c.rc.Access(tagged, true) == cache.Hit {
+		env.Stats.Inc("red_wb_rc_hits")
+		return
+	}
+	if c.opt.WBuf {
+		e, ok := c.wbuf[tagged]
+		if !ok {
+			if len(c.wbuf) >= c.wbufEntriesMax() {
+				c.flushOldest(now)
+			}
+			c.wbufGen++
+			e = &wbufEntry{gen: c.wbufGen}
+			c.wbuf[tagged] = e
+			gen := e.gen
+			env.Eng.At(now+c.wbufTimeout(), func(at sim.Cycle) {
+				if cur, ok := c.wbuf[tagged]; ok && cur.gen == gen {
+					env.Stats.Inc("red_wbuf_timeout")
+					c.flushEntry(at, tagged, cur)
+				}
+			})
+		}
+		e.mask |= writtenMask
+		if e.mask == fullMask {
+			// Every check byte of the block is known: write it blind.
+			delete(c.wbuf, tagged)
+			env.Stats.Inc("red_blind_writes")
+			env.DRAM.Submit(now, mem.Request{
+				Addr:  tagged &^ protect.RedTag,
+				Write: true,
+				Bytes: geo.RedBlockBytes,
+				Class: mem.Redundancy,
+			})
+		}
+		return
+	}
+	if c.opt.UseRC {
+		// Allocate into the RC via a fetch, then merge there.
+		env.Stats.Inc("red_rmw")
+		env.DRAM.Submit(now, mem.Request{
+			Addr:  tagged &^ protect.RedTag,
+			Bytes: geo.RedBlockBytes,
+			Class: mem.RMW,
+			Done: func(at sim.Cycle) {
+				c.insertRC(at, tagged, true)
+			},
+		})
+		return
+	}
+	// No RC, no write buffer: naive read-modify-write.
+	env.Stats.Inc("red_rmw")
+	env.DRAM.Submit(now, mem.Request{
+		Addr:  tagged &^ protect.RedTag,
+		Bytes: geo.RedBlockBytes,
+		Class: mem.RMW,
+		Done: func(at sim.Cycle) {
+			env.DRAM.Submit(at+env.DecodeLat, mem.Request{
+				Addr:  tagged &^ protect.RedTag,
+				Write: true,
+				Bytes: geo.RedBlockBytes,
+				Class: mem.Redundancy,
+			})
+		},
+	})
+}
+
+func (c *CacheCraft) wbufEntriesMax() int {
+	if c.opt.WBufEntries <= 0 {
+		return 64
+	}
+	return c.opt.WBufEntries
+}
+
+func (c *CacheCraft) wbufTimeout() sim.Cycle {
+	if c.opt.WBufTimeout <= 0 {
+		return 2000
+	}
+	return c.opt.WBufTimeout
+}
+
+// flushOldest evicts the lowest-generation write-buffer entry.
+func (c *CacheCraft) flushOldest(now sim.Cycle) {
+	var oldestAddr uint64
+	var oldest *wbufEntry
+	for a, e := range c.wbuf {
+		if oldest == nil || e.gen < oldest.gen {
+			oldest, oldestAddr = e, a
+		}
+	}
+	if oldest != nil {
+		c.env.Stats.Inc("red_wbuf_overflow")
+		c.flushEntry(now, oldestAddr, oldest)
+	}
+}
+
+// flushEntry retires a partially-coalesced entry: the unknown check bytes
+// must be read back (read-modify-write) before the block can be written.
+func (c *CacheCraft) flushEntry(now sim.Cycle, tagged uint64, e *wbufEntry) {
+	delete(c.wbuf, tagged)
+	env := c.env
+	geo := env.Map.Geometry()
+	env.Stats.Inc("red_rmw")
+	env.DRAM.Submit(now, mem.Request{
+		Addr:  tagged &^ protect.RedTag,
+		Bytes: geo.RedBlockBytes,
+		Class: mem.RMW,
+		Done: func(at sim.Cycle) {
+			env.DRAM.Submit(at+env.DecodeLat, mem.Request{
+				Addr:  tagged &^ protect.RedTag,
+				Write: true,
+				Bytes: geo.RedBlockBytes,
+				Class: mem.Redundancy,
+			})
+		},
+	})
+}
+
+// NeedsRMWFetch is true under ECC.
+func (c *CacheCraft) NeedsRMWFetch() bool { return true }
+
+// Drain flushes the write buffer and writes back dirty RC lines.
+func (c *CacheCraft) Drain(now sim.Cycle) {
+	for tagged, e := range c.wbuf {
+		c.flushEntry(now, tagged, e)
+	}
+	if c.rc != nil {
+		geo := c.env.Map.Geometry()
+		c.rc.Walk(func(lineAddr uint64, vmask, dmask uint64) {
+			if dmask != 0 {
+				c.env.DRAM.Submit(now, mem.Request{
+					Addr:  lineAddr &^ protect.RedTag,
+					Write: true,
+					Bytes: geo.RedBlockBytes,
+					Class: mem.Redundancy,
+				})
+				c.rc.CleanSector(lineAddr)
+			}
+		})
+	}
+}
+
+var _ protect.Scheme = (*CacheCraft)(nil)

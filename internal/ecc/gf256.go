@@ -1,0 +1,105 @@
+package ecc
+
+// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d), the conventional choice for memory and storage Reed–Solomon
+// codes. Log/antilog tables are built once at package init.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // antilog table, doubled to avoid a mod in gfMul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfAdd adds two field elements (XOR in characteristic 2).
+func gfAdd(a, b byte) byte { return a ^ b }
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b; b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a nonzero element.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("ecc: inverse of zero in GF(256)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// gfPow returns a**n for field element a.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (int(gfLog[a]) * n) % 255
+	if l < 0 {
+		l += 255
+	}
+	return gfExp[l]
+}
+
+// gfAlpha returns alpha**n, the n-th power of the primitive element.
+func gfAlpha(n int) byte {
+	l := n % 255
+	if l < 0 {
+		l += 255
+	}
+	return gfExp[l]
+}
+
+// polyEval evaluates the polynomial p (coefficients in descending degree
+// order: p[0] is the highest-degree term) at x using Horner's method.
+func polyEval(p []byte, x byte) byte {
+	var y byte
+	for _, c := range p {
+		y = gfMul(y, x) ^ c
+	}
+	return y
+}
+
+// polyMul multiplies two polynomials in descending-degree order.
+func polyMul(a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] ^= gfMul(ca, cb)
+		}
+	}
+	return out
+}

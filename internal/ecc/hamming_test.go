@@ -1,0 +1,210 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSECDEDGeometry72_64(t *testing.T) {
+	c := NewSECDED(64)
+	if c.DataBits() != 64 {
+		t.Fatalf("data bits = %d", c.DataBits())
+	}
+	if c.CheckBits() != 8 {
+		t.Fatalf("check bits = %d, want 8 (the classic 72,64 code)", c.CheckBits())
+	}
+	if c.CheckBytes() != 1 {
+		t.Fatalf("check bytes = %d", c.CheckBytes())
+	}
+}
+
+func TestSECDEDRoundTrip(t *testing.T) {
+	c := NewSECDED(64)
+	f := func(data [8]byte) bool {
+		chk := c.Encode(data[:])
+		d := data
+		return c.Decode(d[:], chk) == OK && d == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSECDEDCorrectsEverySingleBitError(t *testing.T) {
+	c := NewSECDED(64)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 8)
+	rng.Read(data)
+	chk := c.Encode(data)
+
+	// Every data-bit flip.
+	for bit := 0; bit < 64; bit++ {
+		d := append([]byte(nil), data...)
+		k := append([]byte(nil), chk...)
+		flipBit(d, bit)
+		if res := c.Decode(d, k); res != Corrected {
+			t.Fatalf("data bit %d: result %v, want corrected", bit, res)
+		}
+		if !bytes.Equal(d, data) {
+			t.Fatalf("data bit %d: not restored", bit)
+		}
+	}
+	// Every check-bit flip.
+	for bit := 0; bit < c.CheckBits(); bit++ {
+		d := append([]byte(nil), data...)
+		k := append([]byte(nil), chk...)
+		flipBit(k, bit)
+		if res := c.Decode(d, k); res != Corrected {
+			t.Fatalf("check bit %d: result %v, want corrected", bit, res)
+		}
+		if !bytes.Equal(d, data) || !bytes.Equal(k, chk) {
+			t.Fatalf("check bit %d: not restored", bit)
+		}
+	}
+}
+
+func TestSECDEDDetectsEveryDoubleBitError(t *testing.T) {
+	c := NewSECDED(64)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 8)
+	rng.Read(data)
+	chk := c.Encode(data)
+	total := 64 + c.CheckBits()
+
+	flip := func(d, k []byte, bit int) {
+		if bit < 64 {
+			flipBit(d, bit)
+		} else {
+			flipBit(k, bit-64)
+		}
+	}
+	for b1 := 0; b1 < total; b1++ {
+		for b2 := b1 + 1; b2 < total; b2++ {
+			d := append([]byte(nil), data...)
+			k := append([]byte(nil), chk...)
+			flip(d, k, b1)
+			flip(d, k, b2)
+			if res := c.Decode(d, k); res != Detected {
+				t.Fatalf("bits (%d,%d): result %v, want detected", b1, b2, res)
+			}
+		}
+	}
+}
+
+func TestSECDEDNonStandardWidths(t *testing.T) {
+	for _, bits := range []int{8, 16, 32, 128} {
+		c := NewSECDED(bits)
+		data := make([]byte, bits/8)
+		for i := range data {
+			data[i] = byte(i*37 + 1)
+		}
+		chk := c.Encode(data)
+		if res := c.Decode(data, chk); res != OK {
+			t.Fatalf("width %d: clean decode = %v", bits, res)
+		}
+		// Single-bit correction across widths.
+		for bit := 0; bit < bits; bit += 7 {
+			d := append([]byte(nil), data...)
+			k := append([]byte(nil), chk...)
+			flipBit(d, bit)
+			if res := c.Decode(d, k); res != Corrected {
+				t.Fatalf("width %d bit %d: %v", bits, bit, res)
+			}
+		}
+	}
+}
+
+func TestSECDEDInvalidWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSECDED(0) must panic")
+		}
+	}()
+	NewSECDED(0)
+}
+
+func TestSECDEDSectorGeometry(t *testing.T) {
+	s, err := NewSECDEDSector(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SectorBytes() != 32 || s.RedundancyBytes() != 4 {
+		t.Fatalf("geometry %d/%d, want 32/4", s.SectorBytes(), s.RedundancyBytes())
+	}
+	if RedundancyRatio(s) != 0.125 {
+		t.Fatalf("ratio = %v, want 1/8", RedundancyRatio(s))
+	}
+	if s.Name() != "secded-72/64" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestSECDEDSectorRejectsBadGeometry(t *testing.T) {
+	if _, err := NewSECDEDSector(32, 60); err == nil {
+		t.Fatal("non-byte-aligned word width must be rejected")
+	}
+	if _, err := NewSECDEDSector(32, 72); err == nil {
+		t.Fatal("word width not dividing the sector must be rejected")
+	}
+}
+
+func TestSECDEDSectorRoundTripAndCorrection(t *testing.T) {
+	s, err := NewSECDEDSector(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	sector := make([]byte, 32)
+	rng.Read(sector)
+	red := s.Encode(sector)
+	orig := append([]byte(nil), sector...)
+
+	if res := s.Decode(sector, red); res != OK {
+		t.Fatalf("clean decode = %v", res)
+	}
+	// One bit error in each word simultaneously is still correctable
+	// because the words are independent codewords.
+	for w := 0; w < 4; w++ {
+		flipBit(sector, w*64+w*3)
+	}
+	if res := s.Decode(sector, red); res != Corrected {
+		t.Fatalf("per-word errors: %v", res)
+	}
+	if !bytes.Equal(sector, orig) {
+		t.Fatal("sector not restored")
+	}
+	// Two bit errors in one word are detected.
+	flipBit(sector, 0)
+	flipBit(sector, 1)
+	if res := s.Decode(sector, red); res != Detected {
+		t.Fatalf("double error: %v", res)
+	}
+}
+
+func TestSECDEDSectorWrongSizePanics(t *testing.T) {
+	s, _ := NewSECDEDSector(32, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong sector size must panic")
+		}
+	}()
+	s.Encode(make([]byte, 16))
+}
+
+func TestBitHelpers(t *testing.T) {
+	b := make([]byte, 2)
+	setBit(b, 3, 1)
+	if getBit(b, 3) != 1 {
+		t.Fatal("setBit/getBit mismatch")
+	}
+	setBit(b, 3, 0)
+	if getBit(b, 3) != 0 {
+		t.Fatal("clearing via setBit failed")
+	}
+	flipBit(b, 11)
+	if getBit(b, 11) != 1 || b[1] != 0x08 {
+		t.Fatalf("flipBit wrong: %v", b)
+	}
+}

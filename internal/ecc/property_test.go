@@ -1,0 +1,154 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for every RS geometry in a sweep, any error pattern within the
+// correction radius decodes back to the original word.
+func TestRSPropertyCorrectWithinRadius(t *testing.T) {
+	geometries := [][2]int{
+		{18, 16}, {34, 32}, {36, 32}, {40, 32}, {72, 64}, {255, 239},
+	}
+	rng := rand.New(rand.NewSource(77))
+	for _, g := range geometries {
+		rs, err := NewRS(g[0], g[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tCap := rs.T()
+		for trial := 0; trial < 100; trial++ {
+			data := make([]byte, rs.K())
+			rng.Read(data)
+			parity := rs.Encode(data)
+			d := append([]byte(nil), data...)
+			p := append([]byte(nil), parity...)
+			nErr := 0
+			if tCap > 0 {
+				nErr = rng.Intn(tCap + 1)
+			}
+			for _, pos := range rng.Perm(rs.N())[:nErr] {
+				mag := byte(rng.Intn(255) + 1)
+				if pos < rs.K() {
+					d[pos] ^= mag
+				} else {
+					p[pos-rs.K()] ^= mag
+				}
+			}
+			res := rs.Decode(d, p)
+			if nErr == 0 && res != OK {
+				t.Fatalf("RS(%d,%d): clean word decoded %v", g[0], g[1], res)
+			}
+			if nErr > 0 && res != Corrected {
+				t.Fatalf("RS(%d,%d): %d errors decoded %v", g[0], g[1], nErr, res)
+			}
+			if !bytes.Equal(d, data) || !bytes.Equal(p, parity) {
+				t.Fatalf("RS(%d,%d): word not restored", g[0], g[1])
+			}
+		}
+	}
+}
+
+// Property: erasures up to the full budget always recover, for several
+// geometries.
+func TestRSPropertyErasuresWithinBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for _, g := range [][2]int{{36, 32}, {40, 32}, {72, 64}} {
+		rs, err := NewRS(g[0], g[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			data := make([]byte, rs.K())
+			rng.Read(data)
+			parity := rs.Encode(data)
+			d := append([]byte(nil), data...)
+			p := append([]byte(nil), parity...)
+			s := rng.Intn(rs.ParitySymbols() + 1)
+			positions := rng.Perm(rs.N())[:s]
+			for _, pos := range positions {
+				mag := byte(rng.Intn(256)) // may be zero: an intact "erasure"
+				if pos < rs.K() {
+					d[pos] ^= mag
+				} else {
+					p[pos-rs.K()] ^= mag
+				}
+			}
+			res, _ := rs.DecodeErasures(d, p, positions)
+			if res == Detected {
+				t.Fatalf("RS(%d,%d): %d erasures rejected", g[0], g[1], s)
+			}
+			if !bytes.Equal(d, data) || !bytes.Equal(p, parity) {
+				t.Fatalf("RS(%d,%d): erasure decode wrong", g[0], g[1])
+			}
+		}
+	}
+}
+
+// Property: SEC-DED across a width sweep corrects every single-bit error
+// and detects every double (sampled).
+func TestSECDEDPropertyWidthSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, bits := range []int{8, 16, 24, 32, 48, 64, 96, 128} {
+		c := NewSECDED(bits)
+		data := make([]byte, bits/8)
+		rng.Read(data)
+		chk := c.Encode(data)
+		total := bits + c.CheckBits()
+		for b1 := 0; b1 < total; b1++ {
+			d := append([]byte(nil), data...)
+			k := append([]byte(nil), chk...)
+			flipAt(d, k, bits, b1)
+			if res := c.Decode(d, k); res != Corrected {
+				t.Fatalf("width %d: bit %d → %v", bits, b1, res)
+			}
+			if !bytes.Equal(d, data) || !bytes.Equal(k, chk) {
+				t.Fatalf("width %d: bit %d not restored", bits, b1)
+			}
+		}
+		for trial := 0; trial < 200; trial++ {
+			b1, b2 := rng.Intn(total), rng.Intn(total)
+			if b1 == b2 {
+				continue
+			}
+			d := append([]byte(nil), data...)
+			k := append([]byte(nil), chk...)
+			flipAt(d, k, bits, b1)
+			flipAt(d, k, bits, b2)
+			if res := c.Decode(d, k); res != Detected {
+				t.Fatalf("width %d: bits (%d,%d) → %v", bits, b1, b2, res)
+			}
+		}
+	}
+}
+
+func flipAt(data, chk []byte, dataBits, bit int) {
+	if bit < dataBits {
+		flipBit(data, bit)
+	} else {
+		flipBit(chk, bit-dataBits)
+	}
+}
+
+// Property: the tagged codec's alias-freedom holds for arbitrary data and
+// arbitrary wrong tags (quick-checked).
+func TestTaggedPropertyAliasFree(t *testing.T) {
+	tc, err := NewTagged(32, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data [32]byte, stored, asserted byte) bool {
+		parity := tc.Encode(data[:], []byte{stored})
+		res := tc.Check(data[:], parity, []byte{asserted})
+		if stored == asserted {
+			return res == TagOK
+		}
+		return res == TagMismatch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,316 @@
+package ecc
+
+import "fmt"
+
+// RS is a systematic Reed–Solomon code over GF(2^8). A codeword is k data
+// symbols followed by n-k parity symbols; the code corrects e symbol errors
+// and s symbol erasures whenever 2e+s <= n-k (so up to t=(n-k)/2 errors
+// with no erasures).
+//
+// Symbol-grain correction is what gives memory codes their chipkill-style
+// behaviour: all bits of one device map to one symbol, so a whole-chip
+// failure is a single symbol error.
+type RS struct {
+	n, k int
+	gen  []byte // generator polynomial, descending degree, monic
+}
+
+// NewRS constructs an (n,k) Reed–Solomon code. n must be at most 255 and
+// greater than k.
+func NewRS(n, k int) (*RS, error) {
+	if n > 255 || k <= 0 || k >= n {
+		return nil, fmt.Errorf("ecc: invalid RS(%d,%d)", n, k)
+	}
+	// Generator g(x) = Π_{i=0}^{n-k-1} (x - alpha^i).
+	gen := []byte{1}
+	for i := 0; i < n-k; i++ {
+		gen = polyMul(gen, []byte{1, gfAlpha(i)})
+	}
+	return &RS{n: n, k: k, gen: gen}, nil
+}
+
+// N reports the codeword length in symbols.
+func (r *RS) N() int { return r.n }
+
+// K reports the data length in symbols.
+func (r *RS) K() int { return r.k }
+
+// ParitySymbols reports n-k.
+func (r *RS) ParitySymbols() int { return r.n - r.k }
+
+// T reports the guaranteed symbol-error correction capability with no
+// erasures.
+func (r *RS) T() int { return (r.n - r.k) / 2 }
+
+// Encode computes the parity symbols for data (len k) as the remainder of
+// data·x^(n-k) divided by the generator polynomial.
+func (r *RS) Encode(data []byte) []byte {
+	if len(data) != r.k {
+		panic(fmt.Sprintf("ecc: RS encode len %d, want %d", len(data), r.k))
+	}
+	p := r.n - r.k
+	rem := make([]byte, p)
+	for _, d := range data {
+		factor := d ^ rem[0]
+		copy(rem, rem[1:])
+		rem[p-1] = 0
+		if factor != 0 {
+			for j := 0; j < p; j++ {
+				// gen[0] is the monic leading term; gen[1:] folds in.
+				rem[j] ^= gfMul(r.gen[j+1], factor)
+			}
+		}
+	}
+	return rem
+}
+
+// Syndromes computes the n-k syndromes of the codeword (data ++ parity) and
+// reports whether any is nonzero. Symbol index i carries weight
+// alpha^{(n-1-i)·j} in syndrome j; a zero vector means a valid codeword.
+func (r *RS) Syndromes(data, parity []byte) ([]byte, bool) {
+	cw := make([]byte, 0, r.n)
+	cw = append(cw, data...)
+	cw = append(cw, parity...)
+	return r.syndromes(cw)
+}
+
+func (r *RS) syndromes(cw []byte) ([]byte, bool) {
+	p := r.n - r.k
+	syn := make([]byte, p)
+	any := false
+	for i := 0; i < p; i++ {
+		syn[i] = polyEval(cw, gfAlpha(i))
+		if syn[i] != 0 {
+			any = true
+		}
+	}
+	return syn, any
+}
+
+// Decode verifies data (len k) against parity (len n-k), correcting up to T
+// symbol errors in place.
+func (r *RS) Decode(data, parity []byte) Result {
+	res, _ := r.DecodeErasures(data, parity, nil)
+	return res
+}
+
+// DecodeErasures decodes with known erasure positions (indices into the
+// full codeword: 0..k-1 are data symbols, k..n-1 parity symbols). It
+// corrects e errors and s erasures whenever 2e+s <= n-k and returns the
+// corrected symbol indices (erasure positions that needed no change are not
+// reported).
+func (r *RS) DecodeErasures(data, parity []byte, erasures []int) (Result, []int) {
+	if len(data) != r.k || len(parity) != r.n-r.k {
+		panic("ecc: RS decode buffer size mismatch")
+	}
+	p := r.n - r.k
+	cw := make([]byte, 0, r.n)
+	cw = append(cw, data...)
+	cw = append(cw, parity...)
+
+	syn, any := r.syndromes(cw)
+	if !any {
+		return OK, nil
+	}
+	if len(erasures) > p {
+		return Detected, nil
+	}
+
+	// Erasure locator Γ(x) = Π (1 + X_l·x) with X_l = alpha^{n-1-idx},
+	// ascending coefficient order, Γ[0] = 1.
+	gamma := []byte{1}
+	for _, idx := range erasures {
+		if idx < 0 || idx >= r.n {
+			return Detected, nil
+		}
+		x := gfAlpha(r.n - 1 - idx)
+		gamma = polyMulAsc(gamma, []byte{1, x})
+	}
+
+	lambda := berlekampMassey(syn, gamma, len(erasures))
+	lambda = trimAsc(lambda)
+	nerrs := len(lambda) - 1 // total located positions incl. erasures
+	if nerrs == 0 || 2*(nerrs-len(erasures))+len(erasures) > p {
+		return Detected, nil
+	}
+
+	// Chien search over all symbol indices.
+	positions := make([]int, 0, nerrs)
+	for i := 0; i < r.n; i++ {
+		xinv := gfAlpha(-(r.n - 1 - i))
+		if polyEvalAsc(lambda, xinv) == 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != nerrs {
+		return Detected, nil
+	}
+
+	// Forney: Ω(x) = S(x)·Λ(x) mod x^p; e_l = X_l·Ω(X_l⁻¹)/Λ'(X_l⁻¹).
+	omega := polyMulAsc(syn[:p], lambda)
+	if len(omega) > p {
+		omega = omega[:p]
+	}
+	deriv := polyDerivAsc(lambda)
+	corrected := make([]int, 0, nerrs)
+	for _, pos := range positions {
+		x := gfAlpha(r.n - 1 - pos)
+		xinv := gfInv(x)
+		den := polyEvalAsc(deriv, xinv)
+		if den == 0 {
+			return Detected, nil
+		}
+		mag := gfMul(x, gfDiv(polyEvalAsc(omega, xinv), den))
+		if mag != 0 {
+			cw[pos] ^= mag
+			corrected = append(corrected, pos)
+		}
+	}
+
+	// Re-verify: if syndromes remain nonzero the error exceeded capability
+	// and the "correction" would have been a miscorrection.
+	if _, bad := r.syndromes(cw); bad {
+		return Detected, nil
+	}
+	copy(data, cw[:r.k])
+	copy(parity, cw[r.k:])
+	return Corrected, corrected
+}
+
+// berlekampMassey runs the errors-and-erasures Berlekamp–Massey iteration:
+// it is seeded with the erasure locator gamma and processes syndromes
+// starting after the erasure count, returning the combined locator Λ(x) in
+// ascending order.
+func berlekampMassey(syn []byte, gamma []byte, nErasures int) []byte {
+	lambda := make([]byte, len(gamma))
+	copy(lambda, gamma)
+	prev := make([]byte, len(gamma))
+	copy(prev, gamma)
+	for k := nErasures; k < len(syn); k++ {
+		// Discrepancy Δ = Σ_j Λ_j · S_{k-j}.
+		delta := syn[k]
+		for j := 1; j < len(lambda) && j <= k; j++ {
+			delta ^= gfMul(lambda[j], syn[k-j])
+		}
+		// prev ← x·prev.
+		prev = append([]byte{0}, prev...)
+		if delta == 0 {
+			continue
+		}
+		if len(prev) > len(lambda) {
+			next := scaleAsc(prev, delta)
+			prev = scaleAsc(lambda, gfInv(delta))
+			lambda = next
+			// Fall through to add delta·prev (= old lambda) below.
+		}
+		lambda = addAsc(lambda, scaleAsc(prev, delta))
+	}
+	return lambda
+}
+
+func scaleAsc(p []byte, c byte) []byte {
+	out := make([]byte, len(p))
+	for i, v := range p {
+		out[i] = gfMul(v, c)
+	}
+	return out
+}
+
+func addAsc(a, b []byte) []byte {
+	size := len(a)
+	if len(b) > size {
+		size = len(b)
+	}
+	out := make([]byte, size)
+	copy(out, a)
+	for i, v := range b {
+		out[i] ^= v
+	}
+	return out
+}
+
+// trimAsc removes trailing zero coefficients (the high-degree end in
+// ascending order), keeping at least the constant term.
+func trimAsc(p []byte) []byte {
+	end := len(p)
+	for end > 1 && p[end-1] == 0 {
+		end--
+	}
+	return p[:end]
+}
+
+// polyMulAsc multiplies polynomials with ascending-order coefficients.
+func polyMulAsc(a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] ^= gfMul(ca, cb)
+		}
+	}
+	return out
+}
+
+// polyEvalAsc evaluates an ascending-order polynomial at x.
+func polyEvalAsc(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = gfMul(y, x) ^ p[i]
+	}
+	return y
+}
+
+// polyDerivAsc returns the formal derivative of an ascending-order
+// polynomial; in characteristic 2 the even-power terms vanish.
+func polyDerivAsc(p []byte) []byte {
+	if len(p) <= 1 {
+		return []byte{0}
+	}
+	out := make([]byte, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		if i%2 == 1 {
+			out[i-1] = p[i]
+		}
+	}
+	return out
+}
+
+// RSSector adapts an RS code to the SectorCodec interface: the sector's
+// bytes are the data symbols of a single codeword.
+type RSSector struct {
+	rs *RS
+}
+
+// NewRSSector builds a sector codec protecting sectorBytes with
+// paritySymbols parity bytes in one RS codeword.
+func NewRSSector(sectorBytes, paritySymbols int) (*RSSector, error) {
+	rs, err := NewRS(sectorBytes+paritySymbols, sectorBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &RSSector{rs: rs}, nil
+}
+
+// RS exposes the underlying code (for the tagged variant and tests).
+func (s *RSSector) RS() *RS { return s.rs }
+
+// Name identifies the codec, e.g. "rs-36/32".
+func (s *RSSector) Name() string { return fmt.Sprintf("rs-%d/%d", s.rs.n, s.rs.k) }
+
+// SectorBytes reports the protected sector size.
+func (s *RSSector) SectorBytes() int { return s.rs.k }
+
+// RedundancyBytes reports parity bytes per sector.
+func (s *RSSector) RedundancyBytes() int { return s.rs.ParitySymbols() }
+
+// Encode computes the parity bytes for the sector.
+func (s *RSSector) Encode(sector []byte) []byte { return s.rs.Encode(sector) }
+
+// Decode verifies and corrects the sector in place.
+func (s *RSSector) Decode(sector, redundancy []byte) Result {
+	return s.rs.Decode(sector, redundancy)
+}
+
+var _ SectorCodec = (*RSSector)(nil)

@@ -1,0 +1,181 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func mustSECDAEC(t *testing.T, k int) *SECDAEC {
+	t.Helper()
+	c, err := NewSECDAEC(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSECDAECConstructs(t *testing.T) {
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		c := mustSECDAEC(t, k)
+		if c.DataBits() != k {
+			t.Fatalf("k=%d: data bits %d", k, c.DataBits())
+		}
+		if c.CheckBits() < 4 {
+			t.Fatalf("k=%d: implausibly few check bits %d", k, c.CheckBits())
+		}
+		t.Logf("SEC-DAEC(%d): %d check bits", k, c.CheckBits())
+	}
+	if _, err := NewSECDAEC(0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := NewSECDAEC(1000); err == nil {
+		t.Fatal("oversized width accepted")
+	}
+}
+
+func TestSECDAECCleanRoundTrip(t *testing.T) {
+	c := mustSECDAEC(t, 64)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, 8)
+		rng.Read(data)
+		chk := c.Encode(data)
+		d := append([]byte(nil), data...)
+		if res := c.Decode(d, chk); res != OK {
+			t.Fatalf("clean decode = %v", res)
+		}
+		if !bytes.Equal(d, data) {
+			t.Fatal("clean decode mutated data")
+		}
+	}
+}
+
+func TestSECDAECCorrectsEverySingleBit(t *testing.T) {
+	c := mustSECDAEC(t, 64)
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 8)
+	rng.Read(data)
+	chk := c.Encode(data)
+	total := c.DataBits() + c.CheckBits()
+	for bit := 0; bit < total; bit++ {
+		d := append([]byte(nil), data...)
+		k := append([]byte(nil), chk...)
+		daecFlip(c, d, k, bit)
+		if res := c.Decode(d, k); res != Corrected {
+			t.Fatalf("bit %d: %v", bit, res)
+		}
+		if !bytes.Equal(d, data) || !bytes.Equal(k, chk) {
+			t.Fatalf("bit %d: not restored", bit)
+		}
+	}
+}
+
+func TestSECDAECCorrectsEveryAdjacentDouble(t *testing.T) {
+	c := mustSECDAEC(t, 64)
+	rng := rand.New(rand.NewSource(43))
+	data := make([]byte, 8)
+	rng.Read(data)
+	chk := c.Encode(data)
+	total := c.DataBits() + c.CheckBits()
+	for bit := 0; bit+1 < total; bit++ {
+		d := append([]byte(nil), data...)
+		k := append([]byte(nil), chk...)
+		daecFlip(c, d, k, bit)
+		daecFlip(c, d, k, bit+1)
+		if res := c.Decode(d, k); res != Corrected {
+			t.Fatalf("adjacent pair (%d,%d): %v", bit, bit+1, res)
+		}
+		if !bytes.Equal(d, data) || !bytes.Equal(k, chk) {
+			t.Fatalf("pair (%d,%d): not restored", bit, bit+1)
+		}
+	}
+}
+
+func TestSECDAECNonAdjacentDoublesNeverMiscorrectSilentlyToOK(t *testing.T) {
+	// Non-adjacent doubles are beyond the design point: they may alias to
+	// a single or adjacent-pair syndrome (miscorrection), but they must
+	// never produce syndrome zero (silent pass-through).
+	c := mustSECDAEC(t, 64)
+	rng := rand.New(rand.NewSource(44))
+	data := make([]byte, 8)
+	rng.Read(data)
+	chk := c.Encode(data)
+	total := c.DataBits() + c.CheckBits()
+	detected, miscorrected := 0, 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		b1 := rng.Intn(total)
+		b2 := rng.Intn(total)
+		if b1 == b2 || b1+1 == b2 || b2+1 == b1 {
+			continue
+		}
+		d := append([]byte(nil), data...)
+		k := append([]byte(nil), chk...)
+		daecFlip(c, d, k, b1)
+		daecFlip(c, d, k, b2)
+		switch c.Decode(d, k) {
+		case OK:
+			t.Fatalf("pair (%d,%d): silent pass-through", b1, b2)
+		case Detected:
+			detected++
+		case Corrected:
+			miscorrected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no non-adjacent doubles detected at all")
+	}
+	t.Logf("non-adjacent doubles: %d detected, %d miscorrected", detected, miscorrected)
+}
+
+func TestSECDAECBeatsSECDEDOnAdjacentFaults(t *testing.T) {
+	// The headline comparison: at comparable redundancy, SEC-DED only
+	// *detects* adjacent doubles while SEC-DAEC corrects them.
+	daec := mustSECDAEC(t, 64)
+	ded := NewSECDED(64)
+	rng := rand.New(rand.NewSource(45))
+	data := make([]byte, 8)
+	rng.Read(data)
+	chkA := daec.Encode(data)
+	chkB := ded.Encode(data)
+
+	for bit := 0; bit+1 < 64; bit++ {
+		dA := append([]byte(nil), data...)
+		kA := append([]byte(nil), chkA...)
+		daecFlip(daec, dA, kA, bit)
+		daecFlip(daec, dA, kA, bit+1)
+		if res := daec.Decode(dA, kA); res != Corrected {
+			t.Fatalf("SEC-DAEC failed adjacent pair at %d: %v", bit, res)
+		}
+
+		dB := append([]byte(nil), data...)
+		kB := append([]byte(nil), chkB...)
+		flipBit(dB, bit)
+		flipBit(dB, bit+1)
+		if res := ded.Decode(dB, kB); res != Detected {
+			t.Fatalf("SEC-DED unexpectedly %v on adjacent pair at %d", res, bit)
+		}
+	}
+}
+
+func TestSECDAECDeterministicConstruction(t *testing.T) {
+	a := mustSECDAEC(t, 64)
+	b := mustSECDAEC(t, 64)
+	if a.CheckBits() != b.CheckBits() {
+		t.Fatal("nondeterministic check width")
+	}
+	for i := range a.cols {
+		if a.cols[i] != b.cols[i] {
+			t.Fatalf("column %d differs", i)
+		}
+	}
+}
+
+func daecFlip(c *SECDAEC, data, chk []byte, bit int) {
+	if bit < c.DataBits() {
+		flipBit(data, bit)
+	} else {
+		flipBit(chk, bit-c.DataBits())
+	}
+}

@@ -1,0 +1,194 @@
+package ecc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func mustTagged(t *testing.T, dataLen, parity, tag int) *Tagged {
+	t.Helper()
+	tc, err := NewTagged(dataLen, parity, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func TestTaggedRejectsOversizedTag(t *testing.T) {
+	// 4 parity symbols correct at most 2 errors; a 3-symbol tag could not
+	// be alias-free.
+	if _, err := NewTagged(32, 4, 3); err == nil {
+		t.Fatal("tagSyms > parity/2 must be rejected")
+	}
+	if _, err := NewTagged(32, 4, 0); err == nil {
+		t.Fatal("zero tag symbols must be rejected")
+	}
+}
+
+func TestTaggedGeometry(t *testing.T) {
+	tc := mustTagged(t, 32, 4, 2)
+	if tc.DataBytes() != 32 || tc.ParityBytes() != 4 || tc.TagBytes() != 2 {
+		t.Fatalf("geometry %d/%d/%d", tc.DataBytes(), tc.ParityBytes(), tc.TagBytes())
+	}
+	if tc.Name() != "aft-rs-38/32+t2" {
+		t.Fatalf("name = %q", tc.Name())
+	}
+}
+
+func TestTaggedMatchingTagClean(t *testing.T) {
+	tc := mustTagged(t, 32, 4, 2)
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	tag := []byte{0xaa, 0x55}
+	parity := tc.Encode(data, tag)
+	if res := tc.Check(data, parity, tag); res != TagOK {
+		t.Fatalf("check = %v, want tag-ok", res)
+	}
+}
+
+func TestTaggedEveryMismatchedTagIsDetected(t *testing.T) {
+	// Alias-freedom over an exhaustive 1-byte tag space: every wrong tag
+	// must be flagged as TagMismatch (never TagOK, never silently
+	// "corrected" into the data).
+	tc := mustTagged(t, 32, 4, 1)
+	rng := rand.New(rand.NewSource(20))
+	data := make([]byte, 32)
+	rng.Read(data)
+	orig := append([]byte(nil), data...)
+	storedTag := []byte{0x3c}
+	parity := tc.Encode(data, storedTag)
+
+	for wrong := 0; wrong < 256; wrong++ {
+		if byte(wrong) == storedTag[0] {
+			continue
+		}
+		d := append([]byte(nil), data...)
+		p := append([]byte(nil), parity...)
+		res := tc.Check(d, p, []byte{byte(wrong)})
+		if res != TagMismatch {
+			t.Fatalf("tag %#x: %v, want tag-mismatch", wrong, res)
+		}
+		if !bytes.Equal(d, orig) || !bytes.Equal(p, parity) {
+			t.Fatalf("tag %#x: buffers mutated on mismatch", wrong)
+		}
+	}
+}
+
+func TestTaggedTwoSymbolTagMismatch(t *testing.T) {
+	tc := mustTagged(t, 32, 4, 2)
+	rng := rand.New(rand.NewSource(21))
+	data := make([]byte, 32)
+	rng.Read(data)
+	tag := []byte{1, 2}
+	parity := tc.Encode(data, tag)
+
+	for trial := 0; trial < 300; trial++ {
+		wrong := []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
+		if bytes.Equal(wrong, tag) {
+			continue
+		}
+		res := tc.Check(data, parity, wrong)
+		if res != TagMismatch {
+			t.Fatalf("wrong tag %v: %v", wrong, res)
+		}
+	}
+}
+
+func TestTaggedCorrectsDataErrorUnderMatchingTag(t *testing.T) {
+	tc := mustTagged(t, 32, 4, 1) // t=2: one data error + valid tag decodes
+	rng := rand.New(rand.NewSource(22))
+	data := make([]byte, 32)
+	rng.Read(data)
+	orig := append([]byte(nil), data...)
+	tag := []byte{0x7}
+	parity := tc.Encode(data, tag)
+
+	for pos := 0; pos < 32; pos++ {
+		d := append([]byte(nil), data...)
+		p := append([]byte(nil), parity...)
+		d[pos] ^= 0x81
+		res := tc.Check(d, p, tag)
+		if res != TagOKCorrected {
+			t.Fatalf("pos %d: %v", pos, res)
+		}
+		if !bytes.Equal(d, orig) {
+			t.Fatalf("pos %d: data not restored", pos)
+		}
+	}
+}
+
+func TestTaggedParityErrorUnderMatchingTag(t *testing.T) {
+	tc := mustTagged(t, 32, 4, 1)
+	data := make([]byte, 32)
+	tag := []byte{0x9}
+	parity := tc.Encode(data, tag)
+	p := append([]byte(nil), parity...)
+	p[2] ^= 0x10
+	if res := tc.Check(data, p, tag); res != TagOKCorrected {
+		t.Fatalf("parity error: %v", res)
+	}
+	if !bytes.Equal(p, parity) {
+		t.Fatal("parity not restored")
+	}
+}
+
+func TestTaggedMismatchPlusDataErrorNotSilent(t *testing.T) {
+	// A wrong tag (1 symbol) plus a data error (1 symbol) = 2 symbol
+	// errors, within t=2: the decoder locates both and must classify as
+	// mismatch because one location is the tag position.
+	tc := mustTagged(t, 32, 4, 1)
+	rng := rand.New(rand.NewSource(23))
+	data := make([]byte, 32)
+	rng.Read(data)
+	tag := []byte{0x5}
+	parity := tc.Encode(data, tag)
+
+	for trial := 0; trial < 200; trial++ {
+		d := append([]byte(nil), data...)
+		p := append([]byte(nil), parity...)
+		d[rng.Intn(32)] ^= byte(rng.Intn(255) + 1)
+		res := tc.Check(d, p, []byte{byte(tag[0] ^ byte(rng.Intn(255)+1))})
+		if res != TagMismatch && res != TagUncorrectable {
+			t.Fatalf("trial %d: %v — a safety violation leaked through", trial, res)
+		}
+	}
+}
+
+func TestTaggedUncorrectable(t *testing.T) {
+	tc := mustTagged(t, 32, 4, 1)
+	rng := rand.New(rand.NewSource(24))
+	data := make([]byte, 32)
+	rng.Read(data)
+	tag := []byte{0xe}
+	parity := tc.Encode(data, tag)
+
+	silent := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		d := append([]byte(nil), data...)
+		p := append([]byte(nil), parity...)
+		for _, pos := range rng.Perm(32)[:4] { // 4 errors > t=2
+			d[pos] ^= byte(rng.Intn(255) + 1)
+		}
+		res := tc.Check(d, p, tag)
+		if res == TagOK {
+			silent++
+		}
+	}
+	if silent != 0 {
+		t.Fatalf("%d/%d quadruple errors decoded as clean", silent, trials)
+	}
+}
+
+func TestTaggedWrongBufferSizesPanic(t *testing.T) {
+	tc := mustTagged(t, 32, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short data must panic")
+		}
+	}()
+	tc.Encode(make([]byte, 5), []byte{1})
+}

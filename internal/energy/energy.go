@@ -1,0 +1,69 @@
+// Package energy estimates memory-system dynamic energy from simulation
+// event counts. The model is parametric and first-order: per-activate and
+// per-32B-transfer DRAM energies, per-access SRAM energies. Absolute
+// joules are not the point — the *relative* energy of protection schemes
+// (extra DRAM transfers, extra cache lookups) is.
+package energy
+
+import "cachecraft/internal/gpu"
+
+// Model holds per-event energies in picojoules. Defaults approximate
+// GDDR6-class DRAM and on-chip SRAM figures from public literature.
+type Model struct {
+	DRAMActivatePJ float64 // per row activation (ACT+PRE pair)
+	DRAMReadPJ     float64 // per 32B read burst
+	DRAMWritePJ    float64 // per 32B write burst
+	L1AccessPJ     float64 // per L1 lookup
+	L2AccessPJ     float64 // per L2 lookup
+	RCAccessPJ     float64 // per redundancy-cache lookup
+	XbarPJ         float64 // per 32B crossed
+}
+
+// Default returns the reference energy model.
+func Default() Model {
+	return Model{
+		DRAMActivatePJ: 900,
+		DRAMReadPJ:     400,
+		DRAMWritePJ:    420,
+		L1AccessPJ:     8,
+		L2AccessPJ:     25,
+		RCAccessPJ:     6,
+		XbarPJ:         12,
+	}
+}
+
+// Breakdown is the per-component energy in nanojoules.
+type Breakdown struct {
+	DRAMActivate float64
+	DRAMTransfer float64
+	Caches       float64
+	Xbar         float64
+}
+
+// Total sums the components.
+func (b Breakdown) Total() float64 {
+	return b.DRAMActivate + b.DRAMTransfer + b.Caches + b.Xbar
+}
+
+// Evaluate computes the energy breakdown for one simulation result.
+func (m Model) Evaluate(res gpu.Result) Breakdown {
+	dramStats := res.DRAMStats
+	activates := float64(dramStats.Get("row_misses") + dramStats.Get("row_conflicts"))
+	reads32 := float64(dramStats.Get("bytes_read")) / 32
+	writes32 := float64(dramStats.Get("bytes_written")) / 32
+
+	l1 := float64(res.Machine.Get("l1_hits") + res.Machine.Get("l1_misses"))
+	l2 := float64(res.L2Stats.Get("accesses"))
+	rc := float64(res.ControllerSt.Get("red_rc_hits") + res.ControllerSt.Get("red_reads_dram"))
+
+	// Crossbar: demand data both directions approximated by sector
+	// requests plus responses.
+	xbar32 := float64(res.Machine.Get("sector_requests")) * 2
+
+	return Breakdown{
+		DRAMActivate: activates * m.DRAMActivatePJ / 1000,
+		DRAMTransfer: (reads32*m.DRAMReadPJ + writes32*m.DRAMWritePJ) / 1000,
+		Caches:       (l1*m.L1AccessPJ + l2*m.L2AccessPJ + rc*m.RCAccessPJ) / 1000,
+		Xbar:         xbar32 * m.XbarPJ / 1000,
+	}
+}

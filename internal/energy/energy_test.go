@@ -1,0 +1,63 @@
+package energy
+
+import (
+	"testing"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/gpu"
+	"cachecraft/internal/protect"
+)
+
+func run(t *testing.T, scheme protect.Factory) gpu.Result {
+	t.Helper()
+	cfg := config.Quick()
+	cfg.AccessesPerSM = 300
+	m, err := gpu.New(cfg, "scan", scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEnergyPositiveAndDecomposed(t *testing.T) {
+	res := run(t, protect.NewNone)
+	b := Default().Evaluate(res)
+	if b.Total() <= 0 {
+		t.Fatal("zero energy")
+	}
+	if b.DRAMTransfer <= 0 || b.Caches <= 0 || b.Xbar <= 0 {
+		t.Fatalf("missing components: %+v", b)
+	}
+	sum := b.DRAMActivate + b.DRAMTransfer + b.Caches + b.Xbar
+	if sum != b.Total() {
+		t.Fatal("total must equal the sum of components")
+	}
+}
+
+func TestProtectionCostsEnergy(t *testing.T) {
+	none := Default().Evaluate(run(t, protect.NewNone))
+	naive := Default().Evaluate(run(t, protect.NewInlineNaive))
+	if naive.Total() <= none.Total() {
+		t.Fatalf("inline ECC (%f nJ) must cost more energy than none (%f nJ)",
+			naive.Total(), none.Total())
+	}
+}
+
+func TestModelScalesLinearly(t *testing.T) {
+	res := run(t, protect.NewNone)
+	m := Default()
+	base := m.Evaluate(res)
+	m.DRAMReadPJ *= 2
+	m.DRAMWritePJ *= 2
+	m.DRAMActivatePJ *= 2
+	doubled := m.Evaluate(res)
+	wantDRAM := 2 * (base.DRAMActivate + base.DRAMTransfer)
+	gotDRAM := doubled.DRAMActivate + doubled.DRAMTransfer
+	if diff := gotDRAM - wantDRAM; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("DRAM energy did not scale: %f vs %f", gotDRAM, wantDRAM)
+	}
+}

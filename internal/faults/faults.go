@@ -1,0 +1,230 @@
+// Package faults runs fault-injection campaigns against the ECC codecs:
+// random bit flips, adjacent-bit bursts, and whole-symbol (chip-style)
+// errors, classifying each decode against ground truth. It produces the
+// reliability table of the evaluation (Table 3).
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"cachecraft/internal/ecc"
+)
+
+// Outcome classifies one injected trial against ground truth.
+type Outcome int
+
+const (
+	// Corrected: the decoder fixed the error; data matches ground truth.
+	Corrected Outcome = iota
+	// Detected: the decoder flagged an uncorrectable error.
+	Detected
+	// Miscorrected: the decoder "corrected" into wrong data — silent data
+	// corruption with a clean conscience.
+	Miscorrected
+	// SilentBad: the decoder reported OK but the data is wrong — silent
+	// data corruption, the worst case.
+	SilentBad
+	numOutcomes
+)
+
+// String renders the outcome for tables.
+func (o Outcome) String() string {
+	switch o {
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	case Miscorrected:
+		return "miscorrected"
+	case SilentBad:
+		return "silent-bad"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Codec  string
+	Fault  string
+	Trials int
+	Counts [numOutcomes]int
+}
+
+// Rate returns the fraction of trials with the given outcome.
+func (r Report) Rate(o Outcome) float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Counts[o]) / float64(r.Trials)
+}
+
+// SDCRate is the silent-data-corruption rate (miscorrected + silent-bad).
+func (r Report) SDCRate() float64 {
+	return r.Rate(Miscorrected) + r.Rate(SilentBad)
+}
+
+// Campaign drives injections against one sector codec.
+type Campaign struct {
+	Codec  ecc.SectorCodec
+	Trials int
+	Seed   int64
+}
+
+// Injector corrupts a (sector, redundancy) pair and reports how many bits
+// it flipped.
+type Injector func(rng *rand.Rand, sector, redundancy []byte)
+
+// Run executes the campaign with the given fault model.
+func (c Campaign) Run(faultName string, inject Injector) Report {
+	rng := rand.New(rand.NewSource(c.Seed))
+	rep := Report{Codec: c.Codec.Name(), Fault: faultName, Trials: c.Trials}
+	n := c.Codec.SectorBytes()
+	for trial := 0; trial < c.Trials; trial++ {
+		golden := make([]byte, n)
+		rng.Read(golden)
+		sector := append([]byte(nil), golden...)
+		red := c.Codec.Encode(sector)
+
+		inject(rng, sector, red)
+
+		res := c.Codec.Decode(sector, red)
+		ok := bytes.Equal(sector, golden)
+		switch {
+		case res == ecc.Detected:
+			rep.Counts[Detected]++
+		case ok && (res == ecc.OK || res == ecc.Corrected):
+			rep.Counts[Corrected]++
+		case res == ecc.Corrected:
+			rep.Counts[Miscorrected]++
+		default:
+			rep.Counts[SilentBad]++
+		}
+	}
+	return rep
+}
+
+// BitFlips returns an injector flipping n distinct random bits across the
+// sector and redundancy.
+func BitFlips(n int) Injector {
+	return func(rng *rand.Rand, sector, redundancy []byte) {
+		total := len(sector)*8 + len(redundancy)*8
+		seen := map[int]bool{}
+		for len(seen) < n {
+			seen[rng.Intn(total)] = true
+		}
+		for bit := range seen {
+			flip(sector, redundancy, bit)
+		}
+	}
+}
+
+// Burst returns an injector flipping n adjacent bits starting at a random
+// position (the locality pattern beam testing reports for DRAM).
+func Burst(n int) Injector {
+	return func(rng *rand.Rand, sector, redundancy []byte) {
+		total := len(sector)*8 + len(redundancy)*8
+		start := rng.Intn(total)
+		for i := 0; i < n; i++ {
+			flip(sector, redundancy, (start+i)%total)
+		}
+	}
+}
+
+// ChipError returns an injector corrupting one whole byte (symbol) to a
+// random different value — the chipkill case for symbol-grain codes.
+func ChipError() Injector {
+	return func(rng *rand.Rand, sector, redundancy []byte) {
+		pos := rng.Intn(len(sector) + len(redundancy))
+		var b *byte
+		if pos < len(sector) {
+			b = &sector[pos]
+		} else {
+			b = &redundancy[pos-len(sector)]
+		}
+		old := *b
+		for *b == old {
+			*b = byte(rng.Intn(256))
+		}
+	}
+}
+
+// DoubleChipError corrupts two distinct bytes.
+func DoubleChipError() Injector {
+	single := ChipError()
+	return func(rng *rand.Rand, sector, redundancy []byte) {
+		single(rng, sector, redundancy)
+		single(rng, sector, redundancy)
+	}
+}
+
+func flip(sector, redundancy []byte, bit int) {
+	if bit < len(sector)*8 {
+		sector[bit/8] ^= 1 << (bit % 8)
+	} else {
+		bit -= len(sector) * 8
+		redundancy[bit/8] ^= 1 << (bit % 8)
+	}
+}
+
+// ChipkillReport compares blind decoding against identified-dead-device
+// erasure decoding for a device-striped organization.
+type ChipkillReport struct {
+	Trials   int
+	Blind    [numOutcomes]int
+	Informed [numOutcomes]int
+}
+
+// ChipkillCampaign kills one random device per trial and decodes twice:
+// once blind, once with the failed device identified (erasure decoding).
+func ChipkillCampaign(c *ecc.Chipkill, trials int, seed int64) ChipkillReport {
+	rng := rand.New(rand.NewSource(seed))
+	rep := ChipkillReport{Trials: trials}
+	n := c.SectorBytes()
+	for trial := 0; trial < trials; trial++ {
+		golden := make([]byte, n)
+		rng.Read(golden)
+		parity := c.Encode(golden)
+		dev := rng.Intn(c.Devices())
+
+		corrupt := func() (sector, red []byte) {
+			sector = append([]byte(nil), golden...)
+			red = append([]byte(nil), parity...)
+			for _, p := range c.DeviceSymbols(dev) {
+				var b *byte
+				if p < n {
+					b = &sector[p]
+				} else {
+					b = &red[p-n]
+				}
+				old := *b
+				for *b == old {
+					*b = byte(rng.Intn(256))
+				}
+			}
+			return sector, red
+		}
+
+		classify := func(res ecc.Result, sector []byte) Outcome {
+			ok := bytes.Equal(sector, golden)
+			switch {
+			case res == ecc.Detected:
+				return Detected
+			case ok && (res == ecc.OK || res == ecc.Corrected):
+				return Corrected
+			case res == ecc.Corrected:
+				return Miscorrected
+			default:
+				return SilentBad
+			}
+		}
+
+		s1, r1 := corrupt()
+		rep.Blind[classify(c.Decode(s1, r1), s1)]++
+		s2, r2 := corrupt()
+		rep.Informed[classify(c.DecodeWithDeadDevice(s2, r2, dev), s2)]++
+	}
+	return rep
+}

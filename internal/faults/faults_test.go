@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"testing"
+
+	"cachecraft/internal/ecc"
+)
+
+func secded(t *testing.T) ecc.SectorCodec {
+	t.Helper()
+	c, err := ecc.NewSECDEDSector(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func rs(t *testing.T) ecc.SectorCodec {
+	t.Helper()
+	c, err := ecc.NewRSSector(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSECDEDCorrectsAllSingleBitFlips(t *testing.T) {
+	rep := Campaign{Codec: secded(t), Trials: 500, Seed: 1}.Run("1bit", BitFlips(1))
+	if rep.Counts[Corrected] != rep.Trials {
+		t.Fatalf("single-bit: %+v", rep.Counts)
+	}
+	if rep.SDCRate() != 0 {
+		t.Fatalf("single-bit SDC rate %v", rep.SDCRate())
+	}
+}
+
+func TestSECDEDDoubleBitNeverSilent(t *testing.T) {
+	rep := Campaign{Codec: secded(t), Trials: 500, Seed: 2}.Run("2bit", BitFlips(2))
+	// Two flips in one word: detected. Two flips in different words: both
+	// corrected. Either way no SDC.
+	if rep.SDCRate() != 0 {
+		t.Fatalf("double-bit SDC rate %v (%+v)", rep.SDCRate(), rep.Counts)
+	}
+	if rep.Counts[Detected] == 0 {
+		t.Fatal("expected some same-word double errors to be detected")
+	}
+	if rep.Counts[Corrected] == 0 {
+		t.Fatal("expected some cross-word double errors to be corrected")
+	}
+}
+
+func TestSECDEDChipErrorOftenEscapes(t *testing.T) {
+	// A whole-byte error concentrates up to 8 flips in one 64-bit word —
+	// beyond SEC-DED's design point. It must never be reported as clean
+	// Corrected-with-wrong-data silently... but miscorrections are
+	// expected; that is the motivation for symbol codes.
+	rep := Campaign{Codec: secded(t), Trials: 2000, Seed: 3}.Run("chip", ChipError())
+	if rep.Counts[Miscorrected]+rep.Counts[SilentBad] == 0 {
+		t.Fatal("SEC-DED should suffer SDC under chip errors (that is the point of Table 3)")
+	}
+}
+
+func TestRSChipErrorAlwaysCorrected(t *testing.T) {
+	rep := Campaign{Codec: rs(t), Trials: 2000, Seed: 4}.Run("chip", ChipError())
+	if rep.Counts[Corrected] != rep.Trials {
+		t.Fatalf("RS(36,32) must correct any single symbol error: %+v", rep.Counts)
+	}
+}
+
+func TestRSDoubleChipCorrected(t *testing.T) {
+	rep := Campaign{Codec: rs(t), Trials: 1000, Seed: 5}.Run("2chip", DoubleChipError())
+	// t=2: two symbol errors corrected (the occasional same-position
+	// collision is a single error — also corrected).
+	if rep.Counts[Corrected] != rep.Trials {
+		t.Fatalf("RS(36,32) must correct double symbol errors: %+v", rep.Counts)
+	}
+}
+
+func TestRSBurstWithinTwoSymbols(t *testing.T) {
+	// An 8-bit burst spans at most two adjacent symbols — within t=2.
+	rep := Campaign{Codec: rs(t), Trials: 1000, Seed: 6}.Run("burst8", Burst(8))
+	if rep.Counts[Corrected] != rep.Trials {
+		t.Fatalf("RS(36,32) must correct 8-bit bursts: %+v", rep.Counts)
+	}
+}
+
+func TestReportRates(t *testing.T) {
+	rep := Report{Trials: 4}
+	rep.Counts[Corrected] = 2
+	rep.Counts[Miscorrected] = 1
+	rep.Counts[SilentBad] = 1
+	if rep.Rate(Corrected) != 0.5 {
+		t.Fatalf("rate = %v", rep.Rate(Corrected))
+	}
+	if rep.SDCRate() != 0.5 {
+		t.Fatalf("sdc = %v", rep.SDCRate())
+	}
+	var empty Report
+	if empty.Rate(Corrected) != 0 {
+		t.Fatal("empty report rate must be 0")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		Corrected: "corrected", Detected: "detected",
+		Miscorrected: "miscorrected", SilentBad: "silent-bad",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d renders %q", int(o), o.String())
+		}
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	a := Campaign{Codec: rs(t), Trials: 200, Seed: 7}.Run("3bit", BitFlips(3))
+	b := Campaign{Codec: rs(t), Trials: 200, Seed: 7}.Run("3bit", BitFlips(3))
+	if a.Counts != b.Counts {
+		t.Fatalf("campaigns differ: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+func TestChipkillCampaignInformedAlwaysCorrects(t *testing.T) {
+	c, err := ecc.NewChipkill(32, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ChipkillCampaign(c, 1000, 8)
+	if rep.Informed[Corrected] != rep.Trials {
+		t.Fatalf("informed decode: %+v", rep.Informed)
+	}
+	// Blind decoding of a dead device must essentially never correct.
+	if rep.Blind[Corrected] > rep.Trials/100 {
+		t.Fatalf("blind decode corrected %d/%d dead devices", rep.Blind[Corrected], rep.Trials)
+	}
+	if rep.Blind[Detected] == 0 {
+		t.Fatal("blind decode never detected")
+	}
+}

@@ -1,0 +1,74 @@
+// Package gpu models the GPU front end — warp coalescing, SM issue and
+// outstanding-access tracking, the banked sectored L2 — and wires the full
+// machine together: SMs, interconnect, L2, protection controller, DRAM.
+package gpu
+
+import (
+	"sort"
+
+	"cachecraft/internal/trace"
+)
+
+// SectorReq is one coalesced sector touched by a warp access, with the
+// byte coverage the warp's threads provide (full coverage lets a store
+// skip fetch-on-write).
+type SectorReq struct {
+	Addr     uint64 // sector-aligned
+	ByteMask uint32 // bit i = byte i of the sector written/read
+}
+
+// FullByteMask is the coverage mask of a completely-written 32B sector.
+const FullByteMask = ^uint32(0)
+
+// Coalesce merges a warp access's per-thread addresses into unique sector
+// requests, ordered by address. Threads writing the same bytes coalesce;
+// accesses spanning sector boundaries contribute to both sectors.
+func Coalesce(a trace.Access, sectorBytes int) []SectorReq {
+	masks := make(map[uint64]uint32)
+	for _, addr := range a.Addrs {
+		for b := 0; b < a.Bytes; b++ {
+			byteAddr := addr + uint64(b)
+			sector := byteAddr - byteAddr%uint64(sectorBytes)
+			masks[sector] |= 1 << (byteAddr % uint64(sectorBytes))
+		}
+	}
+	out := make([]SectorReq, 0, len(masks))
+	for sector, mask := range masks {
+		out = append(out, SectorReq{Addr: sector, ByteMask: mask})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// lineGroup collects the sectors of one access that fall in the same
+// cache line.
+type lineGroup struct {
+	lineAddr   uint64
+	sectorMask uint64 // within the line
+	fullMask   uint64 // sectors completely covered by the warp's bytes
+}
+
+// groupByLine partitions sector requests into per-line groups, ordered by
+// line address.
+func groupByLine(reqs []SectorReq, lineBytes, sectorBytes int) []lineGroup {
+	byLine := make(map[uint64]*lineGroup)
+	for _, r := range reqs {
+		la := r.Addr - r.Addr%uint64(lineBytes)
+		g, ok := byLine[la]
+		if !ok {
+			g = &lineGroup{lineAddr: la}
+			byLine[la] = g
+		}
+		idx := (r.Addr % uint64(lineBytes)) / uint64(sectorBytes)
+		g.sectorMask |= 1 << idx
+		if r.ByteMask == FullByteMask {
+			g.fullMask |= 1 << idx
+		}
+	}
+	out := make([]lineGroup, 0, len(byLine))
+	for _, g := range byLine {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lineAddr < out[j].lineAddr })
+	return out
+}

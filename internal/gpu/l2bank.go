@@ -1,0 +1,357 @@
+package gpu
+
+import (
+	"cachecraft/internal/cache"
+	"cachecraft/internal/protect"
+	"cachecraft/internal/sim"
+)
+
+// l2Target is one requester waiting on an L2 miss entry.
+type l2Target struct {
+	sectorMask uint64 // the sectors this requester needs from the line
+	write      bool   // fetch-on-write: mark dirty and ack the store
+	respond    func(now sim.Cycle, mask uint64)
+}
+
+// l2Entry is one outstanding line miss (the bank's MSHR entry).
+type l2Entry struct {
+	pending uint64 // sectors requested from the protection controller
+	filled  uint64
+	targets []l2Target
+}
+
+// L2Bank is one bank of the shared sectored L2. Demand requests arrive
+// from the interconnect; misses go to the protection controller, which
+// fills sectors back (possibly more than demanded, for reconstruction).
+type L2Bank struct {
+	m     *Machine
+	id    int
+	cache *cache.Cache
+	mshr  map[uint64]*l2Entry
+
+	// waiting parks requests that arrived while the MSHR file was full.
+	waiting []func(sim.Cycle)
+
+	// reconPending tracks reconstructed sectors not yet referenced, for
+	// predictor feedback; the scoreboard ages entries by the bank's total
+	// fill count — a reconstructed sector unused after reconHorizon
+	// subsequent fills counts as waste even if it still sits in the cache,
+	// because it has had ample opportunity to be referenced.
+	reconPending map[uint64]bool
+	reconFIFO    []reconEntry
+	fillTick     uint64
+}
+
+type reconEntry struct {
+	addr uint64
+	tick uint64
+}
+
+// reconHorizon is the scoreboard age limit in bank fills (≈ two full
+// replacements of a 2048-line bank).
+const reconHorizon = 4096
+
+func newL2Bank(m *Machine, id int) *L2Bank {
+	cfg := m.cfg.L2
+	cfg.Name = "l2"
+	cfg.SizeBytes /= m.cfg.L2Banks
+	return &L2Bank{
+		m:            m,
+		id:           id,
+		cache:        cache.New(cfg),
+		mshr:         make(map[uint64]*l2Entry),
+		reconPending: make(map[uint64]bool),
+	}
+}
+
+// sectorAddrs expands a line mask into sector addresses.
+func (b *L2Bank) sectorAddrs(lineAddr uint64, mask uint64) []uint64 {
+	out := make([]uint64, 0, b.cache.SectorsPerLine())
+	for i := 0; i < b.cache.SectorsPerLine(); i++ {
+		if mask&(1<<i) != 0 {
+			out = append(out, lineAddr+uint64(i*b.m.cfg.L2.SectorBytes))
+		}
+	}
+	return out
+}
+
+// noteUse clears reconstruction-pending state on a referenced sector and
+// reports the use to the scheme.
+func (b *L2Bank) noteUse(addr uint64) {
+	if b.reconPending[addr] {
+		delete(b.reconPending, addr)
+		b.m.reconFeedback(addr, true)
+	}
+}
+
+// noteEviction reports unused reconstructed sectors of an evicted line.
+func (b *L2Bank) noteEviction(ev *cache.Eviction) {
+	if ev == nil {
+		return
+	}
+	for _, sa := range b.sectorAddrs(ev.LineAddr, ev.ValidMask) {
+		if b.reconPending[sa] {
+			delete(b.reconPending, sa)
+			b.m.reconFeedback(sa, false)
+		}
+	}
+}
+
+// fill inserts sectors and routes any dirty victim to the controller.
+func (b *L2Bank) fill(now sim.Cycle, lineAddr uint64, mask, dirtyMask uint64) {
+	ev := b.cache.Fill(lineAddr, mask, dirtyMask)
+	b.noteEviction(ev)
+	if ev != nil && ev.DirtyMask != 0 {
+		b.m.scheme.Writeback(now, ev.LineAddr, ev.DirtyMask)
+	}
+	b.fillTick++
+	b.ageScoreboard()
+}
+
+// ageScoreboard retires reconstruction-tracking entries past the horizon,
+// reporting still-unused ones as waste.
+func (b *L2Bank) ageScoreboard() {
+	for len(b.reconFIFO) > 0 && b.reconFIFO[0].tick+reconHorizon < b.fillTick {
+		old := b.reconFIFO[0]
+		b.reconFIFO = b.reconFIFO[1:]
+		if b.reconPending[old.addr] {
+			delete(b.reconPending, old.addr)
+			b.m.reconFeedback(old.addr, false)
+		}
+	}
+}
+
+// HandleRead services a demand-read line request after the L2 tag latency.
+// respond may fire more than once, each time with a disjoint sector mask;
+// the masks union to the requested mask.
+func (b *L2Bank) HandleRead(now sim.Cycle, lineAddr uint64, mask uint64,
+	respond func(now sim.Cycle, mask uint64)) {
+	b.m.eng.At(now+b.m.cfg.L2Latency, func(at sim.Cycle) {
+		b.read(at, lineAddr, mask, respond)
+	})
+}
+
+// mshrFull reports whether a new line entry cannot be allocated.
+func (b *L2Bank) mshrFull(lineAddr uint64) bool {
+	if _, ok := b.mshr[lineAddr]; ok {
+		return false // merging into an existing entry is always allowed
+	}
+	return len(b.mshr) >= b.m.cfg.L2MSHRs
+}
+
+// enqueueWaiter parks a request until MSHR space frees up (credit-style
+// backpressure toward the interconnect).
+func (b *L2Bank) enqueueWaiter(w func(sim.Cycle)) {
+	b.m.stats.Inc("l2_mshr_stalls")
+	b.waiting = append(b.waiting, w)
+}
+
+// pump replays parked requests while entry space is available.
+func (b *L2Bank) pump(now sim.Cycle) {
+	for len(b.waiting) > 0 && len(b.mshr) < b.m.cfg.L2MSHRs {
+		w := b.waiting[0]
+		b.waiting = b.waiting[1:]
+		w(now)
+	}
+}
+
+func (b *L2Bank) read(now sim.Cycle, lineAddr uint64, mask uint64,
+	respond func(now sim.Cycle, mask uint64)) {
+	if b.mshrFull(lineAddr) {
+		b.enqueueWaiter(func(at sim.Cycle) { b.read(at, lineAddr, mask, respond) })
+		return
+	}
+	var missMask, hitMask uint64
+	for i := 0; i < b.cache.SectorsPerLine(); i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		sa := lineAddr + uint64(i*b.m.cfg.L2.SectorBytes)
+		if b.cache.Access(sa, false) == cache.Hit {
+			b.noteUse(sa)
+			hitMask |= 1 << i
+		} else {
+			missMask |= 1 << i
+		}
+	}
+	if hitMask != 0 {
+		b.m.stats.Add("l2_hits", uint64(popcount(hitMask)))
+		respond(now, hitMask)
+	}
+	if missMask == 0 {
+		return
+	}
+	b.m.stats.Add("l2_misses", uint64(popcount(missMask)))
+	b.enqueueMiss(now, lineAddr, missMask, l2Target{
+		sectorMask: missMask,
+		respond:    respond,
+	})
+}
+
+// HandleStore services a store line request after the L2 tag latency.
+// fullMask marks sectors whose bytes the warp fully covers. respond may
+// fire more than once with disjoint acknowledged sector masks.
+func (b *L2Bank) HandleStore(now sim.Cycle, lineAddr uint64, mask, fullMask uint64,
+	respond func(now sim.Cycle, mask uint64)) {
+	b.m.eng.At(now+b.m.cfg.L2Latency, func(at sim.Cycle) {
+		b.store(at, lineAddr, mask, fullMask, respond)
+	})
+}
+
+func (b *L2Bank) store(now sim.Cycle, lineAddr uint64, mask, fullMask uint64,
+	respond func(now sim.Cycle, mask uint64)) {
+	if b.mshrFull(lineAddr) {
+		b.enqueueWaiter(func(at sim.Cycle) { b.store(at, lineAddr, mask, fullMask, respond) })
+		return
+	}
+	var ackMask, fetchMask uint64
+	for i := 0; i < b.cache.SectorsPerLine(); i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		sa := lineAddr + uint64(i*b.m.cfg.L2.SectorBytes)
+		bit := uint64(1) << i
+		switch {
+		case b.cache.Access(sa, true) == cache.Hit:
+			// Dirty bit set by the access; the write is absorbed.
+			b.m.stats.Inc("l2_store_hits")
+			b.noteUse(sa)
+			ackMask |= bit
+		case fullMask&bit != 0 || !b.m.scheme.NeedsRMWFetch():
+			// Full coverage (or byte-maskable DRAM): allocate in place
+			// without fetching the old contents.
+			b.m.stats.Inc("l2_store_allocs")
+			b.fill(now, lineAddr, bit, bit)
+			ackMask |= bit
+		default:
+			// Partial-sector store under ECC: fetch-before-write.
+			b.m.stats.Inc("l2_rmw_fetches")
+			fetchMask |= bit
+		}
+	}
+	if ackMask != 0 {
+		respond(now, ackMask)
+	}
+	if fetchMask == 0 {
+		return
+	}
+	b.enqueueMiss(now, lineAddr, fetchMask, l2Target{
+		sectorMask: fetchMask,
+		write:      true,
+		respond:    respond,
+	})
+}
+
+// enqueueMiss merges the target into the line's MSHR entry, asking the
+// controller for any sectors not already in flight.
+func (b *L2Bank) enqueueMiss(now sim.Cycle, lineAddr uint64, mask uint64, t l2Target) {
+	e, ok := b.mshr[lineAddr]
+	if !ok {
+		e = &l2Entry{}
+		b.mshr[lineAddr] = e
+	}
+	e.targets = append(e.targets, t)
+	fetch := mask &^ e.pending
+	e.pending |= mask
+	if fetch == 0 {
+		return
+	}
+	class := memClassDemand
+	if t.write {
+		class = memClassRMW
+	}
+	b.m.scheme.ReadMiss(now, lineAddr, fetch, class, func(at sim.Cycle) {
+		b.onFill(at, lineAddr, fetch)
+	})
+}
+
+// onFill receives sectors from the controller, fills the cache, and
+// retires the entry when everything pending has arrived.
+func (b *L2Bank) onFill(now sim.Cycle, lineAddr uint64, mask uint64) {
+	e, ok := b.mshr[lineAddr]
+	if !ok {
+		panic("gpu: L2 fill with no MSHR entry")
+	}
+	b.fill(now, lineAddr, mask, 0)
+	e.filled |= mask
+	if e.filled != e.pending {
+		return
+	}
+	delete(b.mshr, lineAddr)
+	b.pump(now)
+	for _, t := range e.targets {
+		if t.write {
+			for _, sa := range b.sectorAddrs(lineAddr, t.sectorMask) {
+				// The fetched sector absorbs the store's bytes.
+				if b.cache.Probe(sa) == cache.Hit {
+					b.cache.MarkDirty(sa)
+				} else {
+					// The line was evicted between fill and retire (same
+					// cycle adversarial case): re-allocate dirty.
+					b.fill(now, lineAddr, b.cache.SectorMask(sa), b.cache.SectorMask(sa))
+				}
+			}
+		}
+		t.respond(now, t.sectorMask)
+	}
+}
+
+// Present reports sector validity (CacheSide).
+func (b *L2Bank) Present(addr uint64) bool { return b.cache.Probe(addr) == cache.Hit }
+
+// Pending reports whether the sector is already being fetched (CacheSide).
+func (b *L2Bank) Pending(addr uint64) bool {
+	lineAddr := b.cache.LineAddr(addr)
+	e, ok := b.mshr[lineAddr]
+	return ok && e.pending&b.cache.SectorMask(addr) != 0
+}
+
+// Insert places a sector into the bank (CacheSide).
+func (b *L2Bank) Insert(now sim.Cycle, addr uint64, dirty bool) {
+	lineAddr := b.cache.LineAddr(addr)
+	mask := b.cache.SectorMask(addr)
+	var dmask uint64
+	if dirty {
+		dmask = mask
+	}
+	b.fill(now, lineAddr, mask, dmask)
+}
+
+// InsertReconstructed places a clean reconstructed sector and arms usage
+// tracking (CacheSide).
+func (b *L2Bank) InsertReconstructed(now sim.Cycle, addr uint64) {
+	b.Insert(now, addr, false)
+	// Only track it if the insert survived (it may have been evicted by
+	// its own fill in a pathological set-conflict case).
+	if b.cache.Probe(addr) != cache.Hit {
+		return
+	}
+	b.reconPending[addr] = true
+	b.reconFIFO = append(b.reconFIFO, reconEntry{addr: addr, tick: b.fillTick})
+}
+
+// MarkDirty marks a present sector dirty (CacheSide).
+func (b *L2Bank) MarkDirty(addr uint64) { b.cache.MarkDirty(addr) }
+
+// flushDirty writes back every dirty line at end of simulation, cleaning
+// the flushed sectors.
+func (b *L2Bank) flushDirty(now sim.Cycle, scheme protect.Scheme) {
+	b.cache.Walk(func(lineAddr uint64, vmask, dmask uint64) {
+		if dmask == 0 {
+			return
+		}
+		scheme.Writeback(now, lineAddr, dmask)
+		for _, sa := range b.sectorAddrs(lineAddr, dmask) {
+			b.cache.CleanSector(sa)
+		}
+	})
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}

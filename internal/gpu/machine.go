@@ -1,0 +1,329 @@
+package gpu
+
+import (
+	"fmt"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/dram"
+	"cachecraft/internal/layout"
+	"cachecraft/internal/mem"
+	"cachecraft/internal/protect"
+	"cachecraft/internal/sim"
+	"cachecraft/internal/stats"
+	"cachecraft/internal/trace"
+	"cachecraft/internal/xbar"
+)
+
+// Aliases keep the bank code free of direct mem imports in signatures.
+const (
+	memClassDemand = mem.Demand
+	memClassRMW    = mem.RMW
+)
+
+// Machine is the wired GPU: SMs, interconnect, banked L2, protection
+// controller, DRAM.
+type Machine struct {
+	cfg      config.GPU
+	eng      *sim.Engine
+	mapper   layout.Mapper
+	dram     *dram.DRAM
+	banks    []*L2Bank
+	sms      []*SM
+	scheme   protect.Scheme
+	stats    *stats.Counters
+	envStats *stats.Counters
+
+	reqNet  *xbar.Crossbar // SMs → L2 banks
+	respNet *xbar.Crossbar // L2 banks → SMs
+
+	smsDone     int
+	outstanding int
+	perfCycles  sim.Cycle
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Workload     string
+	Scheme       string
+	Cycles       sim.Cycle
+	Instructions uint64
+	IPC          float64
+
+	DRAMBytes      map[string]uint64
+	DRAMRowHits    uint64
+	DRAMRowMisses  uint64
+	DRAMRowConfl   uint64
+	L1HitRate      float64
+	L2HitRate      float64
+	AvgMemLatency  float64
+	Machine        *stats.Counters
+	ControllerSt   *stats.Counters
+	L2Stats        *stats.Counters
+	DRAMStats      *stats.Counters
+	BusUtilization float64
+}
+
+// WorkloadSource supplies one workload instance per SM (used for trace
+// replay and custom workloads; named workloads go through New).
+type WorkloadSource func(smID, numSMs int) (trace.Workload, error)
+
+// New builds a machine for one (config, named-workload, scheme)
+// combination.
+func New(cfg config.GPU, workload string, factory protect.Factory) (*Machine, error) {
+	return NewFromSource(cfg, func(smID, numSMs int) (trace.Workload, error) {
+		return trace.Build(workload, trace.Params{
+			SMID:           smID,
+			NumSMs:         numSMs,
+			Seed:           cfg.Seed,
+			Accesses:       cfg.AccessesPerSM,
+			FootprintBytes: cfg.FootprintBytes,
+		})
+	}, factory)
+}
+
+// NewFromSource builds a machine whose SMs draw from caller-supplied
+// workloads (e.g. replayed traces). Each workload's footprint must fit the
+// configured protected region.
+func NewFromSource(cfg config.GPU, src WorkloadSource, factory protect.Factory) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mapper, err := cfg.BuildMapper()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FootprintBytes > mapper.ProtectedBytes() {
+		return nil, fmt.Errorf("gpu: footprint %d exceeds protected capacity %d",
+			cfg.FootprintBytes, mapper.ProtectedBytes())
+	}
+
+	m := &Machine{
+		cfg:    cfg,
+		eng:    sim.NewEngine(),
+		mapper: mapper,
+		stats:  stats.NewCounters(),
+	}
+	m.dram = dram.New(m.eng, cfg.DRAM)
+	m.reqNet = xbar.New("xbar-req", xbar.Config{
+		Sources:                cfg.NumSMs,
+		Destinations:           cfg.L2Banks,
+		PortBytesPerCycle:      cfg.XbarPortBytesPerCycle,
+		BisectionBytesPerCycle: cfg.XbarReqBytesPerCycle,
+		Latency:                cfg.XbarLatency,
+	})
+	m.respNet = xbar.New("xbar-resp", xbar.Config{
+		Sources:                cfg.L2Banks,
+		Destinations:           cfg.NumSMs,
+		PortBytesPerCycle:      cfg.XbarPortBytesPerCycle,
+		BisectionBytesPerCycle: cfg.XbarRespBytesPerCycle,
+		Latency:                cfg.XbarLatency,
+	})
+
+	for i := 0; i < cfg.L2Banks; i++ {
+		m.banks = append(m.banks, newL2Bank(m, i))
+	}
+	m.envStats = stats.NewCounters()
+	env := &protect.Env{
+		Eng:          m.eng,
+		DRAM:         m.dram,
+		Map:          mapper,
+		L2:           (*bankRouter)(m),
+		Stats:        m.envStats,
+		DecodeLat:    cfg.DecodeLat,
+		ErrorRatePPM: cfg.ErrorRatePPM,
+		ErrorPenalty: cfg.ErrorPenalty,
+	}
+	m.scheme = factory(env)
+
+	for i := 0; i < cfg.NumSMs; i++ {
+		wl, err := src(i, cfg.NumSMs)
+		if err != nil {
+			return nil, err
+		}
+		if wl.Footprint() > mapper.ProtectedBytes() {
+			return nil, fmt.Errorf("gpu: SM %d workload footprint %d exceeds protected capacity %d",
+				i, wl.Footprint(), mapper.ProtectedBytes())
+		}
+		m.sms = append(m.sms, newSM(i, m, wl))
+	}
+	return m, nil
+}
+
+// bankRouter adapts the machine's bank array to protect.CacheSide by
+// routing on the (tag-stripped) line address.
+type bankRouter Machine
+
+func (r *bankRouter) bank(addr uint64) *L2Bank {
+	m := (*Machine)(r)
+	return m.bankFor(addr)
+}
+
+// Present reports sector validity.
+func (r *bankRouter) Present(addr uint64) bool { return r.bank(addr).Present(addr) }
+
+// Pending reports in-flight fetches.
+func (r *bankRouter) Pending(addr uint64) bool { return r.bank(addr).Pending(addr) }
+
+// Insert places a sector.
+func (r *bankRouter) Insert(now sim.Cycle, addr uint64, dirty bool) {
+	r.bank(addr).Insert(now, addr, dirty)
+}
+
+// InsertReconstructed places a tracked clean sector.
+func (r *bankRouter) InsertReconstructed(now sim.Cycle, addr uint64) {
+	r.bank(addr).InsertReconstructed(now, addr)
+}
+
+// MarkDirty marks a present sector dirty.
+func (r *bankRouter) MarkDirty(addr uint64) { r.bank(addr).MarkDirty(addr) }
+
+// bankIndexFor selects the bank index for an address (RedTag stripped
+// first so redundancy spreads the same way data does).
+func (m *Machine) bankIndexFor(addr uint64) int {
+	lineNum := (addr &^ protect.RedTag) / uint64(m.cfg.L2.LineBytes)
+	return int(lineNum % uint64(len(m.banks)))
+}
+
+func (m *Machine) bankFor(addr uint64) *L2Bank {
+	return m.banks[m.bankIndexFor(addr)]
+}
+
+// reconFeedback forwards reconstruction usage to an observing scheme.
+func (m *Machine) reconFeedback(addr uint64, used bool) {
+	if obs, ok := m.scheme.(protect.ReconstructionObserver); ok {
+		obs.ReconstructedUse(addr, used)
+	}
+}
+
+// sendRead models the SM→L2 request hop and the L2→SM data hop for a line
+// read; done fires once per delivered sector batch with that batch's mask.
+func (m *Machine) sendRead(now sim.Cycle, smID int, lineAddr uint64, mask uint64,
+	done func(now sim.Cycle, mask uint64)) {
+	m.outstanding++
+	remaining := mask
+	bankIdx := m.bankIndexFor(lineAddr)
+	arrive := m.reqNet.Transfer(now, smID, bankIdx, 16)
+	bank := m.banks[bankIdx]
+	bank.HandleRead(arrive, lineAddr, mask, func(at sim.Cycle, got uint64) {
+		deliver := m.respNet.Transfer(at, bankIdx, smID, popcount(got)*m.cfg.L2.SectorBytes)
+		m.eng.At(deliver, func(dn sim.Cycle) {
+			remaining &^= got
+			if remaining == 0 {
+				m.outstanding--
+			}
+			done(dn, got)
+		})
+	})
+}
+
+// sendStore models the SM→L2 store hop (header + data) and the ack hop;
+// done fires per acknowledged sector batch with that batch's mask.
+func (m *Machine) sendStore(now sim.Cycle, smID int, g lineGroup,
+	done func(now sim.Cycle, mask uint64)) {
+	m.outstanding++
+	bytes := 16 + popcount(g.sectorMask)*m.cfg.L2.SectorBytes
+	bankIdx := m.bankIndexFor(g.lineAddr)
+	arrive := m.reqNet.Transfer(now, smID, bankIdx, bytes)
+	bank := m.banks[bankIdx]
+	remaining := g.sectorMask
+	bank.HandleStore(arrive, g.lineAddr, g.sectorMask, g.fullMask,
+		func(at sim.Cycle, got uint64) {
+			deliver := m.respNet.Transfer(at, bankIdx, smID, 8)
+			m.eng.At(deliver, func(dn sim.Cycle) {
+				remaining &^= got
+				if remaining == 0 {
+					m.outstanding--
+				}
+				done(dn, got)
+			})
+		})
+}
+
+// smFinished records an SM exhausting its workload.
+func (m *Machine) smFinished(sim.Cycle) { m.smsDone++ }
+
+// accessRetired notes forward progress (used for the performance endpoint).
+func (m *Machine) accessRetired(now sim.Cycle) {
+	m.perfCycles = now
+}
+
+// Run executes the simulation to completion and returns the results.
+func (m *Machine) Run() (Result, error) {
+	for _, s := range m.sms {
+		s.start()
+	}
+	limit := m.cfg.MaxCycles
+	finished := m.eng.RunUntil(limit, func() bool {
+		return m.smsDone == len(m.sms) && m.outstanding == 0
+	})
+	if !finished {
+		return Result{}, fmt.Errorf("gpu: simulation did not converge within %d cycles (done %d/%d SMs, %d outstanding)",
+			limit, m.smsDone, len(m.sms), m.outstanding)
+	}
+	perfEnd := m.perfCycles
+	if perfEnd == 0 {
+		perfEnd = m.eng.Now()
+	}
+	// Snapshot bandwidth utilization before the drain adds its traffic.
+	busUtil := stats.Mean(m.dram.BusUtilization(perfEnd))
+
+	// Drain: flush dirty cache state through the controller first (so its
+	// write path can still coalesce), then the controller's own buffers,
+	// then let DRAM empty.
+	for _, b := range m.banks {
+		b.flushDirty(m.eng.Now(), m.scheme)
+	}
+	m.scheme.Drain(m.eng.Now())
+	m.eng.Run(limit + 10_000_000)
+	if !m.dram.Drain() {
+		return Result{}, fmt.Errorf("gpu: DRAM failed to drain")
+	}
+
+	var instrs uint64
+	for _, s := range m.sms {
+		instrs += s.instrRetired
+	}
+	res := Result{
+		Cycles:       perfEnd,
+		Instructions: instrs,
+		Machine:      m.stats,
+		ControllerSt: m.controllerStats(),
+		DRAMStats:    m.dram.Stats,
+		L2Stats:      m.l2Stats(),
+	}
+	if perfEnd > 0 {
+		res.IPC = float64(instrs) / float64(perfEnd)
+	}
+	res.DRAMBytes = make(map[string]uint64)
+	for _, c := range mem.Classes() {
+		res.DRAMBytes[c.String()] = m.dram.Stats.Get("bytes_" + c.String())
+	}
+	res.DRAMRowHits = m.dram.Stats.Get("row_hits")
+	res.DRAMRowMisses = m.dram.Stats.Get("row_misses")
+	res.DRAMRowConfl = m.dram.Stats.Get("row_conflicts")
+	res.L1HitRate = safeRate(m.stats.Get("l1_hits"), m.stats.Get("l1_hits")+m.stats.Get("l1_misses"))
+	res.L2HitRate = safeRate(m.stats.Get("l2_hits"), m.stats.Get("l2_hits")+m.stats.Get("l2_misses"))
+	res.AvgMemLatency = m.dram.LatHist.Mean()
+	res.BusUtilization = busUtil
+	return res, nil
+}
+
+// controllerStats exposes the scheme's counters (the Env's counter set is
+// shared with the scheme).
+func (m *Machine) controllerStats() *stats.Counters { return m.envStats }
+
+func safeRate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// l2Stats merges the per-bank cache counters.
+func (m *Machine) l2Stats() *stats.Counters {
+	out := stats.NewCounters()
+	for _, b := range m.banks {
+		out.Merge(b.cache.Stats)
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package gpu
+
+import (
+	"testing"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/core"
+	"cachecraft/internal/layout"
+	"cachecraft/internal/protect"
+	"cachecraft/internal/trace"
+)
+
+func quickCfg() config.GPU {
+	cfg := config.Quick()
+	cfg.AccessesPerSM = 300
+	return cfg
+}
+
+func runQuick(t *testing.T, workload string, factory protect.Factory) Result {
+	t.Helper()
+	m, err := New(quickCfg(), workload, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMachineRunsEveryWorkloadUnprotected(t *testing.T) {
+	for _, wl := range trace.Names() {
+		res := runQuick(t, wl, protect.NewNone)
+		if res.Cycles == 0 || res.Instructions == 0 {
+			t.Fatalf("%s: empty result %+v", wl, res)
+		}
+		if res.IPC <= 0 {
+			t.Fatalf("%s: IPC = %v", wl, res.IPC)
+		}
+		if res.DRAMBytes["redundancy"] != 0 || res.DRAMBytes["rmw"] != 0 {
+			t.Fatalf("%s: unprotected run produced protection traffic: %v", wl, res.DRAMBytes)
+		}
+	}
+}
+
+func TestMachineRunsEveryWorkloadUnderEverySchemeShape(t *testing.T) {
+	factories := map[string]protect.Factory{
+		"inline-naive": protect.NewInlineNaive,
+		"ecc-cache":    protect.NewECCCache,
+		"cachecraft":   core.NewFactory(core.DefaultOptions()),
+	}
+	for name, f := range factories {
+		res := runQuick(t, "stream", f)
+		if res.DRAMBytes["redundancy"] == 0 {
+			t.Fatalf("%s: no redundancy traffic recorded", name)
+		}
+	}
+}
+
+func TestProtectionIsPerformanceTransparent(t *testing.T) {
+	// Every scheme must retire the same instruction count (protection can
+	// change timing, never which work completes).
+	var want uint64
+	for i, f := range []protect.Factory{
+		protect.NewNone, protect.NewInlineNaive, protect.NewECCCache,
+		core.NewFactory(core.DefaultOptions()),
+	} {
+		res := runQuick(t, "spmv", f)
+		if i == 0 {
+			want = res.Instructions
+			continue
+		}
+		if res.Instructions != want {
+			t.Fatalf("scheme %d retired %d instructions, want %d", i, res.Instructions, want)
+		}
+	}
+}
+
+func TestNaiveSlowerThanUnprotected(t *testing.T) {
+	none := runQuick(t, "random", protect.NewNone)
+	naive := runQuick(t, "random", protect.NewInlineNaive)
+	if naive.Cycles <= none.Cycles {
+		t.Fatalf("inline-naive (%d cycles) should be slower than none (%d)", naive.Cycles, none.Cycles)
+	}
+	// Redundancy traffic should be substantial for random access.
+	red := naive.DRAMBytes["redundancy"]
+	demand := naive.DRAMBytes["demand"]
+	if red*3 < demand {
+		t.Fatalf("naive redundancy bytes %d too small vs demand %d", red, demand)
+	}
+}
+
+func TestCacheCraftReducesRedundancyTraffic(t *testing.T) {
+	naive := runQuick(t, "stream", protect.NewInlineNaive)
+	cc := runQuick(t, "stream", core.NewFactory(core.DefaultOptions()))
+	if cc.DRAMBytes["redundancy"] >= naive.DRAMBytes["redundancy"] {
+		t.Fatalf("cachecraft redundancy %d should be below naive %d",
+			cc.DRAMBytes["redundancy"], naive.DRAMBytes["redundancy"])
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runQuick(t, "bfs", core.NewFactory(core.DefaultOptions()))
+	b := runQuick(t, "bfs", core.NewFactory(core.DefaultOptions()))
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", a.Cycles, a.Instructions, b.Cycles, b.Instructions)
+	}
+	for k, v := range a.DRAMBytes {
+		if b.DRAMBytes[k] != v {
+			t.Fatalf("nondeterministic traffic %s: %d vs %d", k, v, b.DRAMBytes[k])
+		}
+	}
+}
+
+func TestFootprintValidation(t *testing.T) {
+	cfg := quickCfg()
+	cfg.FootprintBytes = cfg.MemoryBytes * 2
+	if _, err := New(cfg, "stream", protect.NewNone); err == nil {
+		t.Fatal("oversized footprint accepted")
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	if _, err := New(quickCfg(), "nope", protect.NewNone); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	a := trace.Access{
+		Addrs: []uint64{0, 4, 8, 12, 16, 20, 24, 28}, // one full sector
+		Bytes: 4,
+	}
+	reqs := Coalesce(a, 32)
+	if len(reqs) != 1 {
+		t.Fatalf("coalesced into %d sectors, want 1", len(reqs))
+	}
+	if reqs[0].ByteMask != FullByteMask {
+		t.Fatalf("byte mask %#x, want full", reqs[0].ByteMask)
+	}
+	// Partial sector.
+	b := trace.Access{Addrs: []uint64{64}, Bytes: 4}
+	reqs = Coalesce(b, 32)
+	if len(reqs) != 1 || reqs[0].Addr != 64 || reqs[0].ByteMask != 0x0000000f {
+		t.Fatalf("partial coalesce wrong: %+v", reqs)
+	}
+	// Sector-spanning access.
+	c := trace.Access{Addrs: []uint64{30}, Bytes: 4}
+	reqs = Coalesce(c, 32)
+	if len(reqs) != 2 {
+		t.Fatalf("spanning access got %d sectors", len(reqs))
+	}
+}
+
+func TestGroupByLine(t *testing.T) {
+	reqs := []SectorReq{
+		{Addr: 0, ByteMask: FullByteMask},
+		{Addr: 32, ByteMask: 1},
+		{Addr: 128, ByteMask: FullByteMask},
+	}
+	groups := groupByLine(reqs, 128, 32)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].lineAddr != 0 || groups[0].sectorMask != 0b0011 || groups[0].fullMask != 0b0001 {
+		t.Fatalf("group 0 = %+v", groups[0])
+	}
+	if groups[1].lineAddr != 128 || groups[1].sectorMask != 0b0001 {
+		t.Fatalf("group 1 = %+v", groups[1])
+	}
+}
+
+func TestReconstructionFeedbackFlows(t *testing.T) {
+	// transpose re-touches granule siblings with a delay, so reconstructed
+	// sectors get referenced before eviction.
+	res := runQuick(t, "transpose", core.NewFactory(core.DefaultOptions()))
+	cs := res.ControllerSt
+	if cs.Get("reconstruct_sectors") == 0 {
+		t.Fatal("transpose should trigger reconstruction")
+	}
+	if cs.Get("reconstruct_used") == 0 {
+		t.Fatal("transpose's reconstructed sectors should be used")
+	}
+}
+
+func TestReconstructionMergesWithDemand(t *testing.T) {
+	// stream demands granule siblings almost immediately after the miss
+	// that reconstructs them: those demands must merge with the in-flight
+	// reconstruction instead of duplicating the DRAM fetch.
+	res := runQuick(t, "stream", core.NewFactory(core.DefaultOptions()))
+	cs := res.ControllerSt
+	if cs.Get("reconstruct_merged") == 0 {
+		t.Fatal("stream should merge demand misses into in-flight reconstructions")
+	}
+}
+
+func TestRowLocalLayoutEndToEnd(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Layout = "row-local"
+	var want uint64
+	for i, s := range []protect.Factory{
+		protect.NewNone, protect.NewInlineNaive, protect.NewECCCache,
+		core.NewFactory(core.DefaultOptions()),
+	} {
+		m, err := New(cfg, "scan", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("scheme %d under row-local: %v", i, err)
+		}
+		if i == 0 {
+			want = res.Instructions
+			continue
+		}
+		if res.Instructions != want {
+			t.Fatalf("scheme %d retired %d, want %d", i, res.Instructions, want)
+		}
+	}
+}
+
+func TestGeometry1of16EndToEnd(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Geometry = layout.Geometry1of16() // 512B granules: 4 lines each
+	m, err := New(cfg, "stream", core.NewFactory(core.DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redundancy traffic must reflect the halved ratio: red bytes well
+	// under 1/8 of demand+reconstruct.
+	data := res.DRAMBytes["demand"] + res.DRAMBytes["reconstruct"]
+	red := res.DRAMBytes["redundancy"]
+	if red == 0 || red*8 > data {
+		t.Fatalf("1/16 geometry: red %d vs data %d", red, data)
+	}
+	if res.ControllerSt.Get("reconstruct_sectors") == 0 {
+		t.Fatal("no reconstruction under 512B granules")
+	}
+}
+
+func TestErrorStormEndToEnd(t *testing.T) {
+	cfg := quickCfg()
+	clean, err := Run2(cfg, "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ErrorRatePPM = 200_000 // 20% of granules
+	stormy, err := Run2(cfg, "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stormy.ControllerSt.Get("corrected_errors") == 0 {
+		t.Fatal("no errors corrected under storm")
+	}
+	if stormy.Cycles <= clean.Cycles {
+		t.Fatalf("storm (%d cy) should be slower than clean (%d cy)", stormy.Cycles, clean.Cycles)
+	}
+}
+
+// Run2 is a test helper running cachecraft on the given config.
+func Run2(cfg config.GPU, wl string) (Result, error) {
+	m, err := New(cfg, wl, core.NewFactory(core.DefaultOptions()))
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,195 @@
+package gpu
+
+import (
+	"cachecraft/internal/cache"
+	"cachecraft/internal/sim"
+	"cachecraft/internal/trace"
+)
+
+// smAccess tracks one in-flight warp access: it retires when all its
+// sector requests have completed.
+type smAccess struct {
+	remaining int
+	instrs    uint64
+	dependent bool
+}
+
+// SM models one streaming multiprocessor's memory front end: it issues
+// warp accesses from its workload, filters loads through a private
+// sectored L1, and tracks outstanding accesses against an occupancy limit.
+type SM struct {
+	id int
+	m  *Machine
+	wl trace.Workload
+
+	l1      *cache.Cache
+	l1mshr  map[uint64][]*smAccess // sector address → waiting accesses
+	pending int                    // in-flight accesses
+
+	blocked        bool // a dependent access is outstanding
+	finished       bool
+	issueScheduled bool
+
+	instrRetired uint64
+	accessesDone uint64
+}
+
+func newSM(id int, m *Machine, wl trace.Workload) *SM {
+	cfg := m.cfg.L1
+	return &SM{
+		id:     id,
+		m:      m,
+		wl:     wl,
+		l1:     cache.New(cfg),
+		l1mshr: make(map[uint64][]*smAccess),
+	}
+}
+
+// start arms the SM's issue loop.
+func (s *SM) start() { s.scheduleIssue(0) }
+
+// scheduleIssue arms one issue event at the given cycle (idempotent while
+// one is already armed).
+func (s *SM) scheduleIssue(at sim.Cycle) {
+	if s.issueScheduled || s.finished {
+		return
+	}
+	s.issueScheduled = true
+	s.m.eng.At(at, func(now sim.Cycle) {
+		s.issueScheduled = false
+		s.tryIssue(now)
+	})
+}
+
+// tryIssue issues the next warp access if occupancy and dependences allow.
+func (s *SM) tryIssue(now sim.Cycle) {
+	if s.finished || s.blocked {
+		return
+	}
+	if s.pending >= s.m.cfg.MaxOutstanding {
+		return // re-armed on completion
+	}
+	a, ok := s.wl.Next()
+	if !ok {
+		s.finished = true
+		s.m.smFinished(now)
+		return
+	}
+	s.issue(now, a)
+	// Pace the next issue by the access's compute weight: heavier compute
+	// between memory operations means more latency tolerance.
+	gap := sim.Cycle(1 + a.ComputeWeight/4)
+	s.scheduleIssue(now + gap)
+}
+
+// issue splits the access into sector requests and routes them.
+func (s *SM) issue(now sim.Cycle, a trace.Access) {
+	reqs := Coalesce(a, s.m.cfg.L1.SectorBytes)
+	rec := &smAccess{
+		remaining: len(reqs),
+		instrs:    uint64(1 + a.ComputeWeight),
+		dependent: a.Dependent,
+	}
+	s.pending++
+	if a.Dependent {
+		s.blocked = true
+	}
+	s.m.stats.Add("sector_requests", uint64(len(reqs)))
+
+	groups := groupByLine(reqs, s.m.cfg.L1.LineBytes, s.m.cfg.L1.SectorBytes)
+	if a.Write {
+		for _, g := range groups {
+			s.m.sendStore(now, s.id, g, func(at sim.Cycle, mask uint64) {
+				s.completeSectors(at, rec, popcountMask(mask))
+			})
+		}
+		return
+	}
+	for _, g := range groups {
+		s.issueLoadGroup(now, rec, g)
+	}
+}
+
+// issueLoadGroup filters one line's sectors through the L1 and sends the
+// misses to the L2.
+func (s *SM) issueLoadGroup(now sim.Cycle, rec *smAccess, g lineGroup) {
+	spl := s.l1.SectorsPerLine()
+	var sendMask uint64
+	for i := 0; i < spl; i++ {
+		if g.sectorMask&(1<<i) == 0 {
+			continue
+		}
+		sa := g.lineAddr + uint64(i*s.m.cfg.L1.SectorBytes)
+		if s.l1.Access(sa, false) == cache.Hit {
+			s.m.stats.Inc("l1_hits")
+			s.m.eng.At(now+s.m.cfg.L1Latency, func(at sim.Cycle) {
+				s.completeSectors(at, rec, 1)
+			})
+			continue
+		}
+		s.m.stats.Inc("l1_misses")
+		if waiters, ok := s.l1mshr[sa]; ok {
+			// Merge with the in-flight fetch.
+			s.l1mshr[sa] = append(waiters, rec)
+			continue
+		}
+		s.l1mshr[sa] = []*smAccess{rec}
+		sendMask |= 1 << i
+	}
+	if sendMask == 0 {
+		return
+	}
+	line := g.lineAddr
+	s.m.sendRead(now, s.id, line, sendMask, func(at sim.Cycle, got uint64) {
+		s.onLoadResponse(at, line, got)
+	})
+}
+
+// onLoadResponse fills the L1 and wakes every access waiting on the
+// returned sectors.
+func (s *SM) onLoadResponse(now sim.Cycle, lineAddr uint64, mask uint64) {
+	if ev := s.l1.Fill(lineAddr, mask, 0); ev != nil && ev.DirtyMask != 0 {
+		// The L1 is write-through; dirty evictions cannot happen.
+		panic("gpu: dirty eviction from a write-through L1")
+	}
+	for i := 0; i < s.l1.SectorsPerLine(); i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		sa := lineAddr + uint64(i*s.m.cfg.L1.SectorBytes)
+		waiters := s.l1mshr[sa]
+		delete(s.l1mshr, sa)
+		for _, rec := range waiters {
+			s.completeSectors(now, rec, 1)
+		}
+	}
+}
+
+// completeSectors retires n sector completions of one access, retiring the
+// access itself when the count reaches zero.
+func popcountMask(m uint64) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+func (s *SM) completeSectors(now sim.Cycle, rec *smAccess, n int) {
+	rec.remaining -= n
+	if rec.remaining > 0 {
+		return
+	}
+	if rec.remaining < 0 {
+		panic("gpu: access completed more sectors than issued")
+	}
+	s.pending--
+	s.instrRetired += rec.instrs
+	s.accessesDone++
+	if rec.dependent {
+		s.blocked = false
+	}
+	s.m.accessRetired(now)
+	s.scheduleIssue(now + 1)
+}

@@ -1,0 +1,165 @@
+package gpu
+
+import (
+	"testing"
+
+	"cachecraft/internal/protect"
+	"cachecraft/internal/trace"
+)
+
+// scripted is a hand-built workload for SM behaviour tests.
+type scripted struct {
+	accesses []trace.Access
+	pos      int
+}
+
+func (s *scripted) Name() string      { return "scripted" }
+func (s *scripted) Footprint() uint64 { return 1 << 20 }
+func (s *scripted) Next() (trace.Access, bool) {
+	if s.pos >= len(s.accesses) {
+		return trace.Access{}, false
+	}
+	a := s.accesses[s.pos]
+	s.pos++
+	return a, true
+}
+
+func runScripted(t *testing.T, accesses []trace.Access) (*Machine, Result) {
+	t.Helper()
+	cfg := quickCfg()
+	cfg.NumSMs = 1
+	m, err := NewFromSource(cfg, func(int, int) (trace.Workload, error) {
+		return &scripted{accesses: accesses}, nil
+	}, protect.NewNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func coalescedLoad(addr uint64, weight int) trace.Access {
+	addrs := make([]uint64, trace.WarpSize)
+	for i := range addrs {
+		addrs[i] = addr + uint64(i*4)
+	}
+	return trace.Access{PC: 1, Addrs: addrs, Bytes: 4, ComputeWeight: weight}
+}
+
+func TestSMRetiresAllInstructions(t *testing.T) {
+	var accs []trace.Access
+	wantInstr := uint64(0)
+	for i := 0; i < 50; i++ {
+		a := coalescedLoad(uint64(i*128), 3)
+		accs = append(accs, a)
+		wantInstr += 1 + 3
+	}
+	_, res := runScripted(t, accs)
+	if res.Instructions != wantInstr {
+		t.Fatalf("instructions = %d, want %d", res.Instructions, wantInstr)
+	}
+}
+
+func TestDependentAccessesSerialize(t *testing.T) {
+	// 8 dependent single-sector loads to distinct lines must take ~8 full
+	// round trips; 8 independent ones overlap.
+	mk := func(dep bool) []trace.Access {
+		var out []trace.Access
+		for i := 0; i < 8; i++ {
+			a := trace.Access{
+				PC:        1,
+				Addrs:     []uint64{uint64(i * 4096)},
+				Bytes:     4,
+				Dependent: dep,
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	_, dep := runScripted(t, mk(true))
+	_, indep := runScripted(t, mk(false))
+	if dep.Cycles < indep.Cycles*3 {
+		t.Fatalf("dependent chain (%d cy) should be far slower than independent (%d cy)",
+			dep.Cycles, indep.Cycles)
+	}
+}
+
+func TestL1CapturesReuse(t *testing.T) {
+	// The same line loaded repeatedly: first access misses, later accesses
+	// hit in the L1 after the fill returns.
+	var accs []trace.Access
+	for i := 0; i < 40; i++ {
+		accs = append(accs, coalescedLoad(0, 0))
+	}
+	m, _ := runScripted(t, accs)
+	if m.stats.Get("l1_hits") == 0 {
+		t.Fatal("no L1 hits on a hot line")
+	}
+	// The L2 should have seen the line far fewer than 40 times.
+	if m.stats.Get("l2_misses") > 8 {
+		t.Fatalf("L2 misses = %d; L1 and its MSHR should have absorbed the reuse",
+			m.stats.Get("l2_misses"))
+	}
+}
+
+func TestComputeWeightPacesIssue(t *testing.T) {
+	// Heavier compute weight spaces out issues: with plenty of memory
+	// slack the heavy version must take at least the extra issue gap.
+	light := make([]trace.Access, 100)
+	heavy := make([]trace.Access, 100)
+	for i := range light {
+		light[i] = coalescedLoad(uint64(i*128), 0)
+		heavy[i] = coalescedLoad(uint64(i*128), 16) // gap 1+16/4 = 5
+	}
+	_, l := runScripted(t, light)
+	_, h := runScripted(t, heavy)
+	if h.Cycles <= l.Cycles {
+		t.Fatalf("heavy compute (%d cy) should take longer than light (%d cy)",
+			h.Cycles, l.Cycles)
+	}
+}
+
+func TestOccupancyLimitBoundsOutstanding(t *testing.T) {
+	cfg := quickCfg()
+	cfg.NumSMs = 1
+	cfg.MaxOutstanding = 2
+	var accs []trace.Access
+	for i := 0; i < 30; i++ {
+		accs = append(accs, coalescedLoad(uint64(i*4096), 0))
+	}
+	m, err := NewFromSource(cfg, func(int, int) (trace.Workload, error) {
+		return &scripted{accesses: accs}, nil
+	}, protect.NewNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resLow, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxOutstanding = 24
+	m2, _ := NewFromSource(cfg, func(int, int) (trace.Workload, error) {
+		return &scripted{accesses: accs}, nil
+	}, protect.NewNone)
+	resHigh, err := m2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHigh.Cycles >= resLow.Cycles {
+		t.Fatalf("more occupancy (%d cy) should beat less (%d cy)",
+			resHigh.Cycles, resLow.Cycles)
+	}
+}
+
+func TestSectorSpanningAccessCompletes(t *testing.T) {
+	// A thread access straddling a sector boundary produces two sector
+	// requests; the access must still retire exactly once.
+	a := trace.Access{PC: 1, Addrs: []uint64{30}, Bytes: 4}
+	_, res := runScripted(t, []trace.Access{a})
+	if res.Instructions != 1 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+}

@@ -1,0 +1,49 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		Demand:      "demand",
+		Redundancy:  "redundancy",
+		Writeback:   "writeback",
+		RMW:         "rmw",
+		Reconstruct: "reconstruct",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d renders %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if !strings.Contains(Class(99).String(), "99") {
+		t.Fatal("unknown class should render its number")
+	}
+}
+
+func TestClassesCoverAll(t *testing.T) {
+	cs := Classes()
+	if len(cs) != int(numClasses) {
+		t.Fatalf("Classes() has %d entries, want %d", len(cs), int(numClasses))
+	}
+	seen := map[Class]bool{}
+	for _, c := range cs {
+		if seen[c] {
+			t.Fatalf("duplicate class %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{Addr: 0x1000, Bytes: 32, Class: Demand}
+	if got := r.String(); got != "R 0x1000 32B demand" {
+		t.Fatalf("read renders %q", got)
+	}
+	w := Request{Addr: 0x40, Write: true, Bytes: 32, Class: Writeback}
+	if got := w.String(); got != "W 0x40 32B writeback" {
+		t.Fatalf("write renders %q", got)
+	}
+}

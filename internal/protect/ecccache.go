@@ -1,0 +1,128 @@
+package protect
+
+import (
+	"cachecraft/internal/mem"
+	"cachecraft/internal/sim"
+)
+
+// eccCache is the production-style baseline: redundancy blocks are cached
+// in the L2 alongside data, tagged into a disjoint address space (RedTag).
+// Redundancy locality is captured — at the price of L2 capacity contention
+// with demand data — and redundancy writebacks are coalesced in the L2 the
+// same way data writebacks are.
+type eccCache struct {
+	env     *Env
+	pending map[uint64]*redFetch // outstanding redundancy fetches by tagged address
+}
+
+type redFetch struct {
+	waiters []func(sim.Cycle)
+	dirty   bool
+}
+
+// NewECCCache builds the L2-redundancy-caching baseline.
+func NewECCCache(env *Env) Scheme {
+	return &eccCache{env: env, pending: make(map[uint64]*redFetch)}
+}
+
+// Name identifies the scheme.
+func (s *eccCache) Name() string { return "ecc-cache" }
+
+// redReady arranges for ready to run as soon as the redundancy block
+// covering lineAddr is available: immediately on an L2 hit, or when the
+// (possibly already outstanding) DRAM fetch returns.
+func (s *eccCache) redReady(now sim.Cycle, lineAddr uint64, markDirty bool, ready func(sim.Cycle)) {
+	env := s.env
+	tagged := RedTag | env.Map.RedundancyAddr(lineAddr)
+	if env.L2.Present(tagged) {
+		env.Stats.Inc("red_l2_hits")
+		if markDirty {
+			env.L2.MarkDirty(tagged)
+		}
+		env.Eng.At(now, ready)
+		return
+	}
+	if f, ok := s.pending[tagged]; ok {
+		env.Stats.Inc("red_merged")
+		f.dirty = f.dirty || markDirty
+		f.waiters = append(f.waiters, ready)
+		return
+	}
+	f := &redFetch{waiters: []func(sim.Cycle){ready}, dirty: markDirty}
+	s.pending[tagged] = f
+	env.Stats.Inc("red_reads_dram")
+	class := mem.Redundancy
+	if markDirty {
+		class = mem.RMW // a write-allocate fetch exists only to merge new checks
+	}
+	env.DRAM.Submit(now, mem.Request{
+		Addr:  tagged &^ RedTag,
+		Bytes: env.Map.Geometry().RedBlockBytes,
+		Class: class,
+		Done: func(at sim.Cycle) {
+			delete(s.pending, tagged)
+			env.L2.Insert(at, tagged, f.dirty)
+			for _, w := range f.waiters {
+				w(at)
+			}
+		},
+	})
+}
+
+// ReadMiss fetches the demanded sectors and waits for the redundancy block
+// (L2 or DRAM), completing after decode.
+func (s *eccCache) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
+	env := s.env
+	geo := env.Map.Geometry()
+	sectors := sectorsOf(geo, lineAddr, mask)
+	finish := func(at sim.Cycle) { env.FinishDecode(at, lineAddr, done) }
+	join := joinN(env, now, len(sectors)+1, finish)
+	for _, sa := range sectors {
+		env.DRAM.Submit(now, mem.Request{
+			Addr:  env.Map.DataPhys(sa),
+			Bytes: geo.SectorBytes,
+			Class: class,
+			Done:  join,
+		})
+	}
+	s.redReady(now, lineAddr, false, join)
+}
+
+// Writeback writes dirty data sectors and folds the redundancy update into
+// the cached block (allocating it if needed). Evicted dirty redundancy
+// lines come back through this method carrying RedTag and are plain
+// writes.
+func (s *eccCache) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64) {
+	env := s.env
+	geo := env.Map.Geometry()
+	if lineAddr&RedTag != 0 {
+		for _, sa := range sectorsOf(geo, lineAddr&^RedTag, dirtyMask) {
+			env.Stats.Inc("red_writebacks")
+			env.DRAM.Submit(now, mem.Request{
+				Addr:  sa,
+				Write: true,
+				Bytes: geo.SectorBytes,
+				Class: mem.Redundancy,
+			})
+		}
+		return
+	}
+	for _, sa := range sectorsOf(geo, lineAddr, dirtyMask) {
+		env.DRAM.Submit(now, mem.Request{
+			Addr:  env.Map.DataPhys(sa),
+			Write: true,
+			Bytes: geo.SectorBytes,
+			Class: mem.Writeback,
+		})
+	}
+	s.redReady(now, lineAddr, true, func(sim.Cycle) {})
+}
+
+// NeedsRMWFetch is true under ECC.
+func (s *eccCache) NeedsRMWFetch() bool { return true }
+
+// Drain has nothing controller-side to flush: dirty redundancy lives in
+// the L2 and drains with the machine's cache flush.
+func (s *eccCache) Drain(sim.Cycle) {}
+
+var _ Scheme = (*eccCache)(nil)

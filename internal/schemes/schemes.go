@@ -1,0 +1,52 @@
+// Package schemes maps scheme names to protection-controller factories,
+// joining the baselines in internal/protect with CacheCraft in
+// internal/core.
+package schemes
+
+import (
+	"fmt"
+	"sort"
+
+	"cachecraft/internal/core"
+	"cachecraft/internal/protect"
+)
+
+var registry = map[string]protect.Factory{
+	"none":         protect.NewNone,
+	"inline-naive": protect.NewInlineNaive,
+	"ecc-cache":    protect.NewECCCache,
+	"cachecraft":   core.NewFactory(core.DefaultOptions()),
+	// ideal is the analysis upper bound (free redundancy); it is not part
+	// of All() because it is not a buildable design.
+	"ideal": protect.NewIdeal,
+}
+
+// Names lists the registered schemes in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All lists the schemes in evaluation order (unprotected baseline first).
+func All() []string {
+	return []string{"none", "inline-naive", "ecc-cache", "cachecraft"}
+}
+
+// ByName returns the factory for a scheme, or an error for unknown names.
+func ByName(name string) (protect.Factory, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("schemes: unknown scheme %q (have %v)", name, Names())
+	}
+	return f, nil
+}
+
+// CacheCraftWith returns a CacheCraft factory with explicit options — used
+// by the ablation and sensitivity benches.
+func CacheCraftWith(opt core.Options) protect.Factory {
+	return core.NewFactory(opt)
+}

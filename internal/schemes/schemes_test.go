@@ -1,0 +1,50 @@
+package schemes
+
+import (
+	"testing"
+
+	"cachecraft/internal/core"
+)
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	want := []string{"none", "inline-naive", "ecc-cache", "cachecraft"}
+	if len(all) != len(want) {
+		t.Fatalf("All() = %v", all)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("All()[%d] = %q, want %q", i, all[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range Names() {
+		f, err := ByName(n)
+		if err != nil || f == nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestCacheCraftWith(t *testing.T) {
+	if CacheCraftWith(core.DefaultOptions()) == nil {
+		t.Fatal("nil factory")
+	}
+}

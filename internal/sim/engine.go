@@ -1,0 +1,118 @@
+// Package sim provides the discrete-event simulation core used by every
+// timing model in the repository: an event queue ordered by (cycle, sequence
+// number), bandwidth-limited resources, and simple latency pipes.
+//
+// All timing models in this repository are cycle-approximate and
+// deterministic: two runs with identical inputs schedule identical event
+// sequences. Determinism is guaranteed by breaking ties in event time with a
+// monotonically increasing sequence number.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in core clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a fixed cycle.
+type Event func(now Cycle)
+
+type queuedEvent struct {
+	at  Cycle
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []queuedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns simulated time. Components schedule callbacks with At/After
+// and the engine runs them in deterministic order.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine positioned at cycle 0 with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports how many events are waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at cycle at. Scheduling in the past is treated as
+// scheduling for the current cycle (the event still runs after all events
+// already queued for that cycle, preserving causality).
+func (e *Engine) At(at Cycle, fn Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, queuedEvent{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn Event) {
+	e.At(e.now+delay, fn)
+}
+
+// Step runs the single earliest event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(queuedEvent)
+	e.now = ev.at
+	ev.fn(e.now)
+	return true
+}
+
+// Run drains the event queue, advancing time until nothing remains or the
+// cycle limit is exceeded. It returns the cycle at which it stopped.
+func (e *Engine) Run(limit Cycle) Cycle {
+	for len(e.events) > 0 {
+		if e.events[0].at > limit {
+			e.now = limit
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunUntil drains events while cond keeps returning false, subject to the
+// same cycle limit as Run. It returns true if cond was satisfied.
+func (e *Engine) RunUntil(limit Cycle, cond func() bool) bool {
+	for !cond() {
+		if len(e.events) == 0 || e.events[0].at > limit {
+			return false
+		}
+		e.Step()
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func(Cycle) { order = append(order, 3) })
+	e.At(10, func(Cycle) { order = append(order, 1) })
+	e.At(20, func(Cycle) { order = append(order, 2) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("engine stopped at cycle %d, want 30", e.Now())
+	}
+}
+
+func TestEngineBreaksTiesInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(Cycle) { order = append(order, i) })
+	}
+	e.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated FIFO: position %d got %d", i, v)
+		}
+	}
+}
+
+func TestEnginePastSchedulingClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var ranAt Cycle
+	e.At(50, func(now Cycle) {
+		e.At(1, func(now Cycle) { ranAt = now }) // "1" is in the past
+	})
+	e.Run(100)
+	if ranAt != 50 {
+		t.Fatalf("past-scheduled event ran at %d, want clamped to 50", ranAt)
+	}
+}
+
+func TestEngineRunHonorsLimit(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(1000, func(Cycle) { ran = true })
+	e.Run(100)
+	if ran {
+		t.Fatal("event beyond the limit must not run")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("engine should park at the limit, got %d", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(Cycle(i*10), func(Cycle) { count++ })
+	}
+	ok := e.RunUntil(1000, func() bool { return count >= 3 })
+	if !ok {
+		t.Fatal("RunUntil should have satisfied the condition")
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want exactly 3 (stop as soon as satisfied)", count)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %d, want 30", e.Now())
+	}
+	if ok := e.RunUntil(1000, func() bool { return count >= 100 }); ok {
+		t.Fatal("RunUntil cannot satisfy an unreachable condition")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func(now Cycle)
+	recurse = func(now Cycle) {
+		depth++
+		if depth < 5 {
+			e.After(7, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run(1000)
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if e.Now() != 28 {
+		t.Fatalf("now = %d, want 28", e.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("bus")
+	if got := r.Claim(10, 5); got != 10 {
+		t.Fatalf("first claim starts at %d, want 10", got)
+	}
+	if got := r.Claim(10, 5); got != 15 {
+		t.Fatalf("overlapping claim starts at %d, want 15", got)
+	}
+	if got := r.Claim(100, 5); got != 100 {
+		t.Fatalf("late claim starts at %d, want 100", got)
+	}
+	if r.BusyCycles() != 15 {
+		t.Fatalf("busy = %d, want 15", r.BusyCycles())
+	}
+}
+
+func TestResourceClaimNeverStartsBeforeArrival(t *testing.T) {
+	f := func(arrivals []uint16, durs []uint8) bool {
+		r := NewResource("x")
+		n := len(arrivals)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		prevEnd := Cycle(0)
+		for i := 0; i < n; i++ {
+			at := Cycle(arrivals[i])
+			d := Cycle(durs[i]%16) + 1
+			start := r.Claim(at, d)
+			if start < at {
+				return false // started before arrival
+			}
+			if start < prevEnd {
+				return false // overlapped the previous grant
+			}
+			prevEnd = start + d
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThrottledPortBandwidth(t *testing.T) {
+	p := NewThrottledPort("link", 32, 10)
+	// 64 bytes at 32 B/cycle = 2 cycles of link time + 10 latency.
+	if got := p.Transfer(0, 64); got != 12 {
+		t.Fatalf("delivery at %d, want 12", got)
+	}
+	// Second transfer queues behind the first.
+	if got := p.Transfer(0, 64); got != 14 {
+		t.Fatalf("second delivery at %d, want 14", got)
+	}
+	if p.BusyBytes() != 128 {
+		t.Fatalf("busy = %d bytes, want 128", p.BusyBytes())
+	}
+}
+
+func TestThrottledPortSubCycleSharing(t *testing.T) {
+	// Four 8-byte messages share one 32 B/cycle slot: all deliver by the
+	// end of cycle 1; a fifth spills into the next cycle.
+	p := NewThrottledPort("link", 32, 0)
+	for i := 0; i < 4; i++ {
+		if got := p.Transfer(0, 8); got != 1 {
+			t.Fatalf("message %d delivered at %d, want 1", i, got)
+		}
+	}
+	if got := p.Transfer(0, 8); got != 2 {
+		t.Fatalf("fifth message delivered at %d, want 2", got)
+	}
+}
+
+func TestThrottledPortZeroByteTransferStillOccupies(t *testing.T) {
+	p := NewThrottledPort("link", 32, 0)
+	if got := p.Transfer(0, 0); got != 1 {
+		t.Fatalf("zero-byte transfer delivered at %d, want 1 (minimum byte)", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := NewResource("x")
+	r.Claim(0, 50)
+	if u := r.Utilization(100); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("utilization at 0 elapsed = %v, want 0", u)
+	}
+	p := NewThrottledPort("link", 32, 0)
+	p.Transfer(0, 64)
+	if u := p.Utilization(4); u != 0.5 {
+		t.Fatalf("port utilization = %v, want 0.5", u)
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue must report false")
+	}
+	e.After(5, func(Cycle) {})
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	if !e.Step() {
+		t.Fatal("Step should run the event")
+	}
+	if e.Now() != 5 || e.Pending() != 0 {
+		t.Fatalf("now=%d pending=%d", e.Now(), e.Pending())
+	}
+}
+
+func TestEventOrderingProperty(t *testing.T) {
+	// Events scheduled at arbitrary times always run in nondecreasing time
+	// order, with FIFO order within a cycle.
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		type stamp struct {
+			at  Cycle
+			seq int
+		}
+		var ran []stamp
+		for i, tm := range times {
+			i, tm := i, tm
+			e.At(Cycle(tm), func(now Cycle) {
+				ran = append(ran, stamp{at: now, seq: i})
+			})
+		}
+		e.Run(1 << 30)
+		if len(ran) != len(times) {
+			return false
+		}
+		for i := 1; i < len(ran); i++ {
+			if ran[i].at < ran[i-1].at {
+				return false
+			}
+			if ran[i].at == ran[i-1].at && ran[i].seq < ran[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

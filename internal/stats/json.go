@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// MarshalJSON renders the counters as a JSON object with sorted keys, so
+// simulation results can be exported to external tooling.
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	// Sorted copy for stable output.
+	keys := make([]string, 0, len(c.values))
+	for k := range c.values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]uint64, len(keys))
+	for _, k := range keys {
+		ordered[k] = c.values[k]
+	}
+	return json.Marshal(ordered)
+}
+
+// UnmarshalJSON restores counters from their JSON object form. Creation
+// order becomes key-sorted order.
+func (c *Counters) UnmarshalJSON(data []byte) error {
+	var m map[string]uint64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	c.values = make(map[string]uint64, len(m))
+	c.order = c.order[:0]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.Set(k, m[k])
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCountersJSONRoundTrip(t *testing.T) {
+	c := NewCounters()
+	c.Add("zeta", 3)
+	c.Add("alpha", 1)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"alpha":1,"zeta":3}` {
+		t.Fatalf("json = %s", data)
+	}
+	back := NewCounters()
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Get("alpha") != 1 || back.Get("zeta") != 3 {
+		t.Fatalf("round trip lost values: %s", back)
+	}
+	names := back.Names()
+	if len(names) != 2 || names[0] != "alpha" {
+		t.Fatalf("restored order: %v", names)
+	}
+}
+
+func TestCountersJSONRejectsGarbage(t *testing.T) {
+	c := NewCounters()
+	if err := json.Unmarshal([]byte(`[1,2]`), c); err == nil {
+		t.Fatal("array accepted as counters")
+	}
+}

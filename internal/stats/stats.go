@@ -1,0 +1,195 @@
+// Package stats collects and renders simulation statistics: named counters,
+// distributions, and the table/CSV renderers used by the benchmark harness
+// to print paper-style rows.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named uint64 counters. The zero value is ready to
+// use after NewCounters; use that constructor so the map exists.
+type Counters struct {
+	values map[string]uint64
+	order  []string
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]uint64)}
+}
+
+// Add increments the named counter by delta, creating it at zero first if
+// needed. Creation order is remembered for stable rendering.
+func (c *Counters) Add(name string, delta uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.values[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get reports the counter's value (zero if never touched).
+func (c *Counters) Get(name string) uint64 { return c.values[name] }
+
+// Set overwrites the counter's value.
+func (c *Counters) Set(name string, v uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.values[name] = v
+}
+
+// Names returns the counter names in creation order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Merge adds every counter from other into c.
+func (c *Counters) Merge(other *Counters) {
+	for _, name := range other.order {
+		c.Add(name, other.values[name])
+	}
+}
+
+// Ratio returns numerator/denominator over two counters, or 0 when the
+// denominator is zero.
+func (c *Counters) Ratio(num, den string) float64 {
+	d := c.Get(den)
+	if d == 0 {
+		return 0
+	}
+	return float64(c.Get(num)) / float64(d)
+}
+
+// String renders the counters as "name=value" lines in creation order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, name := range c.order {
+		fmt.Fprintf(&b, "%s=%d\n", name, c.values[name])
+	}
+	return b.String()
+}
+
+// Geomean returns the geometric mean of xs, ignoring non-positive entries.
+// It returns 0 when no positive entries exist.
+func Geomean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a fixed-bucket histogram over uint64 samples.
+type Histogram struct {
+	bounds []uint64 // ascending upper bounds; final bucket is overflow
+	counts []uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. A sample lands in the first bucket whose bound is >= sample; the
+// implicit final bucket catches everything larger.
+func NewHistogram(bounds ...uint64) *Histogram {
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[idx]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean reports the average of all observed samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Max reports the largest observed sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Buckets returns (upperBound, count) pairs; the final pair has bound
+// math.MaxUint64 for the overflow bucket.
+func (h *Histogram) Buckets() []BucketCount {
+	out := make([]BucketCount, 0, len(h.counts))
+	for i, c := range h.counts {
+		bound := uint64(math.MaxUint64)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		out = append(out, BucketCount{Bound: bound, Count: c})
+	}
+	return out
+}
+
+// BucketCount is one histogram bucket.
+type BucketCount struct {
+	Bound uint64
+	Count uint64
+}
+
+// Percentile returns an upper bound for the p-th percentile (0..100) using
+// bucket boundaries. It returns 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a")
+	c.Add("b", 10)
+	c.Inc("a")
+	if c.Get("a") != 2 || c.Get("b") != 10 {
+		t.Fatalf("got a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("missing counter should read zero")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := NewCounters()
+	a.Add("x", 1)
+	a.Add("y", 2)
+	b := NewCounters()
+	b.Add("y", 3)
+	b.Add("z", 4)
+	a.Merge(b)
+	if a.Get("x") != 1 || a.Get("y") != 5 || a.Get("z") != 4 {
+		t.Fatalf("merge wrong: %s", a)
+	}
+}
+
+func TestCountersRatio(t *testing.T) {
+	c := NewCounters()
+	c.Add("hit", 3)
+	c.Add("access", 4)
+	if r := c.Ratio("hit", "access"); r != 0.75 {
+		t.Fatalf("ratio = %v, want 0.75", r)
+	}
+	if r := c.Ratio("hit", "nothing"); r != 0 {
+		t.Fatalf("ratio with zero denominator = %v, want 0", r)
+	}
+}
+
+func TestCountersSet(t *testing.T) {
+	c := NewCounters()
+	c.Set("v", 42)
+	c.Set("v", 7)
+	if c.Get("v") != 7 {
+		t.Fatalf("set = %d, want 7", c.Get("v"))
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean(1,4) = %v, want 2", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("geomean of empty must be 0")
+	}
+	// Non-positive entries are ignored.
+	got = Geomean([]float64{0, -3, 8, 2})
+	if math.Abs(got-4) > 1e-12 {
+		t.Fatalf("geomean ignoring nonpositive = %v, want 4", got)
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r) + 1 // strictly positive
+			xs = append(xs, v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(xs) == 0 {
+			return Geomean(xs) == 0
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty must be 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v, want 2", m)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []uint64{5, 10, 11, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	b := h.Buckets()
+	if len(b) != 4 {
+		t.Fatalf("bucket count = %d, want 4", len(b))
+	}
+	wantCounts := []uint64{2, 1, 1, 1}
+	for i, bc := range b {
+		if bc.Count != wantCounts[i] {
+			t.Fatalf("bucket %d count = %d, want %d", i, bc.Count, wantCounts[i])
+		}
+	}
+	if h.Max() != 5000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-1105.2) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i % 40))
+	}
+	if p := h.Percentile(1); p != 10 {
+		t.Fatalf("p1 = %d, want 10", p)
+	}
+	if p := h.Percentile(100); p != 39 {
+		t.Fatalf("p100 = %d, want max 39", p)
+	}
+	empty := NewHistogram(10)
+	if empty.Percentile(50) != 0 {
+		t.Fatal("empty histogram percentile must be 0")
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := NewHistogram(100, 10)
+	h.Observe(5)
+	b := h.Buckets()
+	if b[0].Bound != 10 || b[0].Count != 1 {
+		t.Fatalf("bounds not sorted: %+v", b)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b")
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha  1") {
+		t.Fatalf("missing aligned row:\n%s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestTableAddRowfFormatsFloats(t *testing.T) {
+	tab := NewTable("", "w", "x")
+	tab.AddRowf("a", 0.123456)
+	if !strings.Contains(tab.String(), "0.123") {
+		t.Fatalf("float not formatted:\n%s", tab.String())
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("x,y", `say "hi"`)
+	var b strings.Builder
+	tab.RenderCSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}

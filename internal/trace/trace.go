@@ -1,0 +1,155 @@
+// Package trace defines warp-level memory access streams and the synthetic
+// workload generators that stand in for the CUDA benchmark suites a GPU
+// simulator would normally replay. Each generator models the access
+// pattern of a canonical workload class — dense streaming, tiled reuse,
+// stencils, irregular gathers, pointer chasing — because those patterns
+// (sector-grain locality, redundancy-block reuse, cache pressure, row
+// locality) are what the protection schemes respond to.
+//
+// All generators are deterministic functions of (smID, numSMs, seed).
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// WarpSize is the number of threads issuing one access together.
+const WarpSize = 32
+
+// Access is one warp-level memory instruction.
+type Access struct {
+	// PC identifies the static instruction (predictor index).
+	PC uint64
+	// Write distinguishes stores from loads.
+	Write bool
+	// Addrs holds the per-thread logical byte addresses (up to WarpSize).
+	Addrs []uint64
+	// Bytes is the per-thread access width.
+	Bytes int
+	// ComputeWeight is how many non-memory instructions retire with this
+	// access (sets the compute:memory ratio of the workload).
+	ComputeWeight int
+	// Dependent marks the next access as data-dependent on this one: the
+	// SM must not issue further accesses until this one completes.
+	Dependent bool
+}
+
+// Workload produces a finite stream of accesses for one SM.
+type Workload interface {
+	// Name identifies the workload.
+	Name() string
+	// Footprint is the extent of the logical data space the workload
+	// touches, in bytes.
+	Footprint() uint64
+	// Next returns the next access; ok is false when the stream ends.
+	Next() (Access, bool)
+}
+
+// Params shapes a generated workload.
+type Params struct {
+	// SMID and NumSMs partition the workload across cores.
+	SMID   int
+	NumSMs int
+	// Seed makes the stream deterministic.
+	Seed int64
+	// Accesses is the number of warp accesses this SM issues.
+	Accesses int
+	// FootprintBytes bounds the logical data space.
+	FootprintBytes uint64
+}
+
+// DefaultParams returns the repository-wide workload sizing: a 48 MiB
+// footprint (≫ L2) and 6000 warp accesses per SM.
+func DefaultParams(smID, numSMs int, seed int64) Params {
+	return Params{
+		SMID:           smID,
+		NumSMs:         numSMs,
+		Seed:           seed,
+		Accesses:       6000,
+		FootprintBytes: 48 << 20,
+	}
+}
+
+// Builder constructs a workload for one SM.
+type Builder func(p Params) Workload
+
+var registry = map[string]Builder{
+	"stream":    NewStream,
+	"scan":      NewScan,
+	"gemm":      NewGEMM,
+	"stencil":   NewStencil,
+	"transpose": NewTranspose,
+	"spmv":      NewSpMV,
+	"bfs":       NewBFS,
+	"ptrchase":  NewPtrChase,
+	"random":    NewRandom,
+	"histogram": NewHistogram,
+}
+
+// Names lists the registered workloads in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named workload, or an error for unknown names.
+func Build(name string, p Params) (Workload, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown workload %q (have %v)", name, Names())
+	}
+	return b(p), nil
+}
+
+// base carries the bookkeeping every generator shares.
+type base struct {
+	name      string
+	footprint uint64
+	emitted   int
+	limit     int
+	rng       *rand.Rand
+	pcBase    uint64
+}
+
+func newBase(name string, p Params) base {
+	return base{
+		name:      name,
+		footprint: p.FootprintBytes,
+		limit:     p.Accesses,
+		rng:       rand.New(rand.NewSource(p.Seed*1000003 + int64(p.SMID)*7919)),
+		pcBase:    uint64(p.SMID) << 32,
+	}
+}
+
+func (b *base) Name() string      { return b.name }
+func (b *base) Footprint() uint64 { return b.footprint }
+
+// done reports and advances the emission budget.
+func (b *base) done() bool {
+	if b.emitted >= b.limit {
+		return true
+	}
+	b.emitted++
+	return false
+}
+
+// coalesced builds a fully-coalesced access: thread t at base + t*width.
+func coalesced(pc uint64, base uint64, width int, write bool, weight int) Access {
+	addrs := make([]uint64, WarpSize)
+	for t := 0; t < WarpSize; t++ {
+		addrs[t] = base + uint64(t*width)
+	}
+	return Access{PC: pc, Write: write, Addrs: addrs, Bytes: width, ComputeWeight: weight}
+}
+
+// clampSector aligns an address down to 4 bytes and into the footprint.
+func clampAddr(addr, footprint uint64) uint64 {
+	addr %= footprint
+	return addr - addr%4
+}

@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"testing"
+)
+
+func params() Params { return DefaultParams(0, 4, 42) }
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("workload count = %d, want 10: %v", len(names), names)
+	}
+	for _, n := range names {
+		w, err := Build(n, params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name() != n {
+			t.Fatalf("workload %q reports name %q", n, w.Name())
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("nope", params()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestStreamsTerminateAtBudget(t *testing.T) {
+	for _, n := range Names() {
+		p := params()
+		p.Accesses = 100
+		w, _ := Build(n, p)
+		count := 0
+		for {
+			_, ok := w.Next()
+			if !ok {
+				break
+			}
+			count++
+			if count > p.Accesses {
+				t.Fatalf("%s: emitted more than budget", n)
+			}
+		}
+		if count != p.Accesses {
+			t.Fatalf("%s: emitted %d, want %d", n, count, p.Accesses)
+		}
+	}
+}
+
+func TestAddressesInFootprint(t *testing.T) {
+	for _, n := range Names() {
+		p := params()
+		p.Accesses = 500
+		w, _ := Build(n, p)
+		for {
+			a, ok := w.Next()
+			if !ok {
+				break
+			}
+			if len(a.Addrs) == 0 || len(a.Addrs) > WarpSize {
+				t.Fatalf("%s: %d thread addresses", n, len(a.Addrs))
+			}
+			for _, addr := range a.Addrs {
+				if addr >= p.FootprintBytes {
+					t.Fatalf("%s: address %#x outside footprint %#x", n, addr, p.FootprintBytes)
+				}
+			}
+			if a.Bytes <= 0 {
+				t.Fatalf("%s: non-positive access width", n)
+			}
+		}
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	for _, n := range Names() {
+		collect := func() []Access {
+			p := params()
+			p.Accesses = 200
+			w, _ := Build(n, p)
+			var out []Access
+			for {
+				a, ok := w.Next()
+				if !ok {
+					break
+				}
+				out = append(out, a)
+			}
+			return out
+		}
+		a, b := collect(), collect()
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", n)
+		}
+		for i := range a {
+			if a[i].PC != b[i].PC || a[i].Write != b[i].Write || len(a[i].Addrs) != len(b[i].Addrs) {
+				t.Fatalf("%s: access %d differs", n, i)
+			}
+			for j := range a[i].Addrs {
+				if a[i].Addrs[j] != b[i].Addrs[j] {
+					t.Fatalf("%s: access %d addr %d differs", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSMPartitioningDiffers(t *testing.T) {
+	// Different SMs must not replay identical address streams (except by
+	// coincidence); check the first access differs for stream-style
+	// workloads that partition by SM.
+	for _, n := range []string{"stream", "scan", "gemm", "transpose"} {
+		w0, _ := Build(n, DefaultParams(0, 4, 42))
+		w1, _ := Build(n, DefaultParams(1, 4, 42))
+		a0, _ := w0.Next()
+		a1, _ := w1.Next()
+		if a0.Addrs[0] == a1.Addrs[0] {
+			t.Fatalf("%s: SM0 and SM1 start at the same address %#x", n, a0.Addrs[0])
+		}
+	}
+}
+
+func TestStreamIsCoalescedAndReadOnly(t *testing.T) {
+	w, _ := Build("stream", params())
+	for i := 0; i < 100; i++ {
+		a, ok := w.Next()
+		if !ok {
+			break
+		}
+		if a.Write {
+			t.Fatal("stream must be read-only")
+		}
+		for t2 := 1; t2 < len(a.Addrs); t2++ {
+			if a.Addrs[t2] != a.Addrs[t2-1]+4 {
+				t.Fatal("stream must be fully coalesced")
+			}
+		}
+	}
+}
+
+func TestScanHasWrites(t *testing.T) {
+	w, _ := Build("scan", params())
+	writes := 0
+	for i := 0; i < 100; i++ {
+		a, _ := w.Next()
+		if a.Write {
+			writes++
+		}
+	}
+	if writes != 50 {
+		t.Fatalf("scan writes = %d/100, want half", writes)
+	}
+}
+
+func TestPtrChaseDependent(t *testing.T) {
+	w, _ := Build("ptrchase", params())
+	a, _ := w.Next()
+	if !a.Dependent {
+		t.Fatal("ptrchase accesses must be dependent")
+	}
+	// All threads in one sector pair.
+	base := a.Addrs[0] - a.Addrs[0]%32
+	for _, addr := range a.Addrs {
+		if addr-addr%32 != base {
+			t.Fatal("ptrchase threads must hit one sector")
+		}
+	}
+}
+
+func TestRandomIsUncoalesced(t *testing.T) {
+	w, _ := Build("random", params())
+	a, _ := w.Next()
+	distinct := map[uint64]bool{}
+	for _, addr := range a.Addrs {
+		distinct[addr-addr%128] = true
+	}
+	if len(distinct) < 16 {
+		t.Fatalf("random access touches only %d lines", len(distinct))
+	}
+}
+
+func TestTransposeWritesAreStrided(t *testing.T) {
+	w, _ := Build("transpose", params())
+	var wr Access
+	for i := 0; i < 10; i++ {
+		a, _ := w.Next()
+		if a.Write {
+			wr = a
+			break
+		}
+	}
+	if wr.Addrs == nil {
+		t.Fatal("no write found")
+	}
+	stride := wr.Addrs[1] - wr.Addrs[0]
+	if stride < 1024 {
+		t.Fatalf("transpose write stride = %d, want a full row", stride)
+	}
+}
+
+func TestGEMMReusesTiles(t *testing.T) {
+	p := params()
+	p.Accesses = 4000
+	w, _ := Build("gemm", p)
+	seen := map[uint64]int{}
+	for {
+		a, ok := w.Next()
+		if !ok {
+			break
+		}
+		seen[a.Addrs[0]-a.Addrs[0]%128]++
+	}
+	reused := 0
+	for _, c := range seen {
+		if c > 1 {
+			reused++
+		}
+	}
+	if reused*2 < len(seen) {
+		t.Fatalf("gemm reuse too low: %d/%d lines reused", reused, len(seen))
+	}
+}
+
+func TestHistogramWritesScattered(t *testing.T) {
+	w, _ := Build("histogram", params())
+	var wr Access
+	for i := 0; i < 4; i++ {
+		a, _ := w.Next()
+		if a.Write {
+			wr = a
+		}
+	}
+	if wr.Addrs == nil {
+		t.Fatal("no write found")
+	}
+	distinct := map[uint64]bool{}
+	for _, addr := range wr.Addrs {
+		distinct[addr-addr%128] = true
+	}
+	if len(distinct) < 8 {
+		t.Fatalf("histogram writes touch only %d lines", len(distinct))
+	}
+}
+
+func TestSpMVGathersSkewed(t *testing.T) {
+	p := params()
+	p.Accesses = 2000
+	w, _ := Build("spmv", p)
+	counts := map[uint64]int{}
+	for {
+		a, ok := w.Next()
+		if !ok {
+			break
+		}
+		if a.PC%16 == 2 { // gather PC
+			for _, addr := range a.Addrs {
+				counts[addr/128]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("no gathers observed")
+	}
+	max := 0
+	total := 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(total) / float64(len(counts))
+	if float64(max) < 4*mean {
+		t.Fatalf("spmv gather distribution not skewed: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestBFSBursts(t *testing.T) {
+	w, _ := Build("bfs", params())
+	prev, _ := w.Next()
+	sequential := 0
+	for i := 0; i < 200; i++ {
+		a, _ := w.Next()
+		if a.Addrs[0] == prev.Addrs[0]+WarpSize*4 {
+			sequential++
+		}
+		prev = a
+	}
+	if sequential < 50 {
+		t.Fatalf("bfs shows too little burst locality: %d/200", sequential)
+	}
+}

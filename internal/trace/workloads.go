@@ -1,0 +1,417 @@
+package trace
+
+// The ten workload generators. Each models the memory behaviour of a
+// canonical GPU benchmark class; comments note the class and the property
+// that matters to memory protection.
+
+// stream: a saxpy/memcpy-style sweep — fully coalesced sequential reads,
+// maximum spatial locality, bandwidth bound. Inline-ECC redundancy enjoys
+// perfect granule reuse here.
+type stream struct {
+	base
+	cursor uint64
+	stride uint64
+}
+
+// NewStream builds the streaming-read workload.
+func NewStream(p Params) Workload {
+	chunk := uint64(WarpSize * 4)
+	return &stream{
+		base:   newBase("stream", p),
+		cursor: uint64(p.SMID) * chunk,
+		stride: uint64(p.NumSMs) * chunk,
+	}
+}
+
+// Next emits the next warp access.
+func (w *stream) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	a := coalesced(w.pcBase+1, w.cursor%w.footprint, 4, false, 4)
+	w.cursor += w.stride
+	return a, true
+}
+
+// scan: a prefix-sum/stream-triad pattern — sequential read plus
+// sequential write to a disjoint half of the footprint. Write-heavy but
+// fully coalesced, so granule-aligned writebacks dominate.
+type scan struct {
+	base
+	cursor uint64
+	stride uint64
+	write  bool
+}
+
+// NewScan builds the streaming read+write workload.
+func NewScan(p Params) Workload {
+	chunk := uint64(WarpSize * 4)
+	return &scan{
+		base:   newBase("scan", p),
+		cursor: uint64(p.SMID) * chunk,
+		stride: uint64(p.NumSMs) * chunk,
+	}
+}
+
+// Next alternates a coalesced load with a coalesced store to the upper
+// half of the footprint.
+func (w *scan) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	half := w.footprint / 2
+	var a Access
+	if w.write {
+		a = coalesced(w.pcBase+2, half+w.cursor%half, 4, true, 2)
+		w.cursor += w.stride
+	} else {
+		a = coalesced(w.pcBase+1, w.cursor%half, 4, false, 2)
+	}
+	w.write = !w.write
+	return a, true
+}
+
+// gemm: a tiled dense matrix-multiply — two tile-sized working sets
+// revisited many times before moving on. High L2 reuse; the L2 captures
+// both data and redundancy locality, so protection overhead is small when
+// the scheme exploits caching.
+type gemm struct {
+	base
+	tileBytes uint64
+	aBase     uint64
+	bBase     uint64
+	posInTile uint64
+	passes    int
+	passesMax int
+	tileIndex uint64
+	numTiles  uint64
+	readingA  bool
+}
+
+// NewGEMM builds the tiled-reuse workload.
+func NewGEMM(p Params) Workload {
+	w := &gemm{
+		base:      newBase("gemm", p),
+		tileBytes: 96 << 10, // 96 KiB per tile: A+B tiles fit in L2 with room
+		passesMax: 8,
+		readingA:  true,
+	}
+	w.numTiles = w.footprint / (2 * w.tileBytes)
+	if w.numTiles == 0 {
+		w.numTiles = 1
+	}
+	w.tileIndex = uint64(p.SMID) % w.numTiles
+	w.setTile()
+	return w
+}
+
+func (w *gemm) setTile() {
+	w.aBase = (w.tileIndex % w.numTiles) * 2 * w.tileBytes
+	w.bBase = w.aBase + w.tileBytes
+	w.posInTile = 0
+	w.passes = 0
+}
+
+// Next sweeps the A then B tile, repeating passesMax times per tile pair.
+func (w *gemm) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	chunk := uint64(WarpSize * 4)
+	tileBase := w.aBase
+	pc := w.pcBase + 1
+	if !w.readingA {
+		tileBase = w.bBase
+		pc = w.pcBase + 2
+	}
+	a := coalesced(pc, (tileBase+w.posInTile)%w.footprint, 4, false, 12)
+	w.posInTile += chunk
+	if w.posInTile >= w.tileBytes {
+		w.posInTile = 0
+		if !w.readingA {
+			w.passes++
+			if w.passes >= w.passesMax {
+				w.tileIndex++
+				w.setTile()
+			}
+		}
+		w.readingA = !w.readingA
+	}
+	return a, true
+}
+
+// stencil: a 2-D 5-point sweep — each output row reads three input rows,
+// so consecutive sweeps rehit the two upper rows in cache. Moderate reuse
+// with perfect coalescing.
+type stencil struct {
+	base
+	rowBytes uint64
+	numRows  uint64
+	row      uint64
+	col      uint64
+	phase    int // 0,1,2 = read north/center/south; 3 = write
+}
+
+// NewStencil builds the 2-D stencil workload.
+func NewStencil(p Params) Workload {
+	w := &stencil{
+		base:     newBase("stencil", p),
+		rowBytes: 64 << 10, // 64 KiB rows: three rows fit in L2 slices
+	}
+	w.numRows = w.footprint / 2 / w.rowBytes
+	if w.numRows < 3 {
+		w.numRows = 3
+	}
+	w.row = uint64(p.SMID) % w.numRows
+	return w
+}
+
+// Next reads north/center/south neighbours then writes the output cell.
+func (w *stencil) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	chunk := uint64(WarpSize * 4)
+	in := func(r uint64) uint64 { return (r % w.numRows) * w.rowBytes }
+	outBase := w.footprint / 2
+	var a Access
+	switch w.phase {
+	case 0:
+		a = coalesced(w.pcBase+1, in(w.row)+w.col, 4, false, 3)
+	case 1:
+		a = coalesced(w.pcBase+2, in(w.row+1)+w.col, 4, false, 3)
+	case 2:
+		a = coalesced(w.pcBase+3, in(w.row+2)+w.col, 4, false, 3)
+	default:
+		a = coalesced(w.pcBase+4, (outBase+in(w.row+1)+w.col)%w.footprint, 4, true, 3)
+	}
+	w.phase++
+	if w.phase == 4 {
+		w.phase = 0
+		w.col += chunk
+		if w.col >= w.rowBytes {
+			w.col = 0
+			w.row++
+		}
+	}
+	return a, true
+}
+
+// transpose: row-major reads, column-major writes with a large stride —
+// every store touches a different cache line and DRAM row. The write path
+// (partial granules, read-modify-write under protection) dominates.
+type transpose struct {
+	base
+	dim   uint64 // matrix dimension in elements (4B)
+	i, j  uint64
+	phase int
+}
+
+// NewTranspose builds the strided-write workload.
+func NewTranspose(p Params) Workload {
+	w := &transpose{base: newBase("transpose", p)}
+	// Square matrix occupying half the footprint (src), other half dst.
+	elems := w.footprint / 2 / 4
+	dim := uint64(1)
+	for dim*dim < elems {
+		dim <<= 1
+	}
+	dim >>= 1
+	if dim < WarpSize {
+		dim = WarpSize
+	}
+	w.dim = dim
+	w.i = uint64(p.SMID)
+	return w
+}
+
+// Next alternates a coalesced row read with a scattered column write: each
+// thread writes one element of a column, so the 32 addresses stride by a
+// full row.
+func (w *transpose) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	src := func(i, j uint64) uint64 { return (i*w.dim + j) * 4 }
+	dstBase := w.footprint / 2
+	var a Access
+	if w.phase == 0 {
+		a = coalesced(w.pcBase+1, src(w.i%w.dim, w.j)%w.footprint, 4, false, 2)
+	} else {
+		addrs := make([]uint64, WarpSize)
+		for t := uint64(0); t < WarpSize; t++ {
+			// dst[j+t][i] — consecutive threads hit consecutive rows.
+			addrs[t] = (dstBase + src(w.j+t, w.i%w.dim)) % w.footprint
+		}
+		a = Access{PC: w.pcBase + 2, Write: true, Addrs: addrs, Bytes: 4, ComputeWeight: 2}
+	}
+	w.phase ^= 1
+	if w.phase == 0 {
+		w.j += WarpSize
+		if w.j+WarpSize > w.dim {
+			w.j = 0
+			w.i += uint64(1)
+		}
+	}
+	return a, true
+}
+
+// spmv: CSR sparse matrix-vector multiply — sequential index streams plus
+// power-law gathers of x[col]. The gathers are uncoalesced and reuse-poor,
+// the classic cache-averse GPU pattern.
+type spmv struct {
+	base
+	rowCursor uint64
+	phase     int
+}
+
+// NewSpMV builds the sparse-gather workload.
+func NewSpMV(p Params) Workload {
+	return &spmv{base: newBase("spmv", p)}
+}
+
+// Next interleaves streaming column-index reads with scattered vector
+// gathers: each thread gathers x at a skewed random column.
+func (w *spmv) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	third := w.footprint / 3
+	var a Access
+	if w.phase == 0 {
+		// Stream the column indices.
+		a = coalesced(w.pcBase+1, w.rowCursor%third, 4, false, 2)
+		w.rowCursor += WarpSize * 4
+	} else {
+		// Gather x[col]: power-law skew (u^3) concentrates on hot entries,
+		// as real column distributions do.
+		addrs := make([]uint64, WarpSize)
+		for t := range addrs {
+			u := w.rng.Float64()
+			col := uint64(u * u * u * float64(third/4))
+			addrs[t] = clampAddr(third+col*4, w.footprint)
+		}
+		a = Access{PC: w.pcBase + 2, Addrs: addrs, Bytes: 4, ComputeWeight: 4}
+	}
+	w.phase ^= 1
+	return a, true
+}
+
+// bfs: frontier expansion — short sequential bursts (adjacency lists) at
+// random offsets. Low reuse, modest spatial locality within a burst.
+type bfs struct {
+	base
+	burstLeft int
+	cursor    uint64
+}
+
+// NewBFS builds the graph-traversal workload.
+func NewBFS(p Params) Workload {
+	return &bfs{base: newBase("bfs", p)}
+}
+
+// Next reads 2–8 consecutive chunks per random vertex, modelling variable
+// adjacency-list lengths.
+func (w *bfs) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	if w.burstLeft == 0 {
+		w.burstLeft = 2 + w.rng.Intn(7)
+		w.cursor = clampAddr(w.rng.Uint64(), w.footprint)
+		w.cursor -= w.cursor % 128
+	}
+	a := coalesced(w.pcBase+1, w.cursor%w.footprint, 4, false, 3)
+	w.cursor += WarpSize * 4
+	w.burstLeft--
+	return a, true
+}
+
+// ptrchase: dependent random chasing — one sector at a time, each access
+// blocking the next. Pure latency sensitivity; protection-added latency
+// shows up 1:1.
+type ptrchase struct {
+	base
+	cur uint64
+}
+
+// NewPtrChase builds the dependent-chase workload.
+func NewPtrChase(p Params) Workload {
+	w := &ptrchase{base: newBase("ptrchase", p)}
+	w.cur = clampAddr(w.rng.Uint64(), w.footprint)
+	return w
+}
+
+// Next emits one dependent single-sector access; all threads load the same
+// node (a linked-list traversal).
+func (w *ptrchase) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	addrs := make([]uint64, WarpSize)
+	node := w.cur - w.cur%32
+	for t := range addrs {
+		addrs[t] = node + uint64(t%8)*4
+	}
+	w.cur = clampAddr(w.rng.Uint64(), w.footprint)
+	return Access{PC: w.pcBase + 1, Addrs: addrs, Bytes: 4, ComputeWeight: 1, Dependent: true}, true
+}
+
+// random: uniform uncoalesced loads — every thread a random sector.
+// Worst case for every cache and for redundancy reuse.
+type random struct {
+	base
+}
+
+// NewRandom builds the uniform-random workload.
+func NewRandom(p Params) Workload {
+	return &random{base: newBase("random", p)}
+}
+
+// Next emits 32 independent random addresses.
+func (w *random) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	addrs := make([]uint64, WarpSize)
+	for t := range addrs {
+		addrs[t] = clampAddr(w.rng.Uint64(), w.footprint)
+	}
+	return Access{PC: w.pcBase + 1, Addrs: addrs, Bytes: 4, ComputeWeight: 2}, true
+}
+
+// histogram: streaming reads plus random read-modify-write updates into a
+// small table — write-heavy with poor write locality; the protection
+// read-modify-write path dominates.
+type histogram struct {
+	base
+	cursor uint64
+	phase  int
+}
+
+// NewHistogram builds the scattered-update workload.
+func NewHistogram(p Params) Workload {
+	return &histogram{base: newBase("histogram", p)}
+}
+
+// Next alternates a streaming read of input with a scattered 4B store into
+// a 2 MiB bucket table.
+func (w *histogram) Next() (Access, bool) {
+	if w.done() {
+		return Access{}, false
+	}
+	table := uint64(2 << 20)
+	var a Access
+	if w.phase == 0 {
+		a = coalesced(w.pcBase+1, (table+w.cursor)%w.footprint, 4, false, 2)
+		w.cursor += WarpSize * 4
+	} else {
+		addrs := make([]uint64, WarpSize)
+		for t := range addrs {
+			addrs[t] = clampAddr(w.rng.Uint64()%table, w.footprint)
+		}
+		a = Access{PC: w.pcBase + 2, Write: true, Addrs: addrs, Bytes: 4, ComputeWeight: 2}
+	}
+	w.phase ^= 1
+	return a, true
+}

@@ -1,0 +1,115 @@
+// Package xbar models the SM↔L2 interconnect as a crossbar with
+// per-source injection ports, per-destination ejection ports, and a
+// shared bisection-bandwidth limit. Contention therefore appears where it
+// does on real GPUs: a single hot L2 bank saturates its ejection port
+// long before the fabric itself saturates, and one SM cannot monopolize
+// the fabric from its single injection port.
+//
+// All ports use byte-granular bandwidth accounting (sim.ThrottledPort),
+// so small control messages share cycles instead of each burning one.
+package xbar
+
+import (
+	"fmt"
+
+	"cachecraft/internal/sim"
+)
+
+// Config sizes the crossbar.
+type Config struct {
+	// Sources and Destinations count the endpoints (SMs and L2 banks for
+	// the request network; swapped for the response network).
+	Sources      int
+	Destinations int
+	// PortBytesPerCycle is each endpoint port's bandwidth.
+	PortBytesPerCycle int
+	// BisectionBytesPerCycle caps total traffic through the fabric; 0
+	// means no shared limit beyond the ports.
+	BisectionBytesPerCycle int
+	// Latency is the fabric traversal time added to every message.
+	Latency sim.Cycle
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Sources <= 0 || c.Destinations <= 0 {
+		return fmt.Errorf("xbar: need positive endpoint counts, got %d×%d", c.Sources, c.Destinations)
+	}
+	if c.PortBytesPerCycle <= 0 {
+		return fmt.Errorf("xbar: port bandwidth must be positive")
+	}
+	if c.BisectionBytesPerCycle < 0 {
+		return fmt.Errorf("xbar: negative bisection bandwidth")
+	}
+	return nil
+}
+
+// Crossbar is one direction of the interconnect (requests or responses).
+type Crossbar struct {
+	cfg       Config
+	inject    []*sim.ThrottledPort
+	eject     []*sim.ThrottledPort
+	bisection *sim.ThrottledPort
+}
+
+// New builds a crossbar. It panics on an invalid configuration (static
+// setup, not runtime input).
+func New(name string, cfg Config) *Crossbar {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	x := &Crossbar{cfg: cfg}
+	for i := 0; i < cfg.Sources; i++ {
+		x.inject = append(x.inject,
+			sim.NewThrottledPort(fmt.Sprintf("%s-in%d", name, i), cfg.PortBytesPerCycle, 0))
+	}
+	for i := 0; i < cfg.Destinations; i++ {
+		x.eject = append(x.eject,
+			sim.NewThrottledPort(fmt.Sprintf("%s-out%d", name, i), cfg.PortBytesPerCycle, 0))
+	}
+	if cfg.BisectionBytesPerCycle > 0 {
+		x.bisection = sim.NewThrottledPort(name+"-bisect", cfg.BisectionBytesPerCycle, 0)
+	}
+	return x
+}
+
+// Transfer moves a message of size bytes from src to dst starting at
+// cycle at, and returns its delivery cycle. The model is virtual
+// cut-through: injection port, fabric bisection, and ejection port are
+// charged in parallel and delivery is bounded by the most contended of
+// the three, plus the fabric latency.
+func (x *Crossbar) Transfer(at sim.Cycle, src, dst, bytes int) sim.Cycle {
+	if src < 0 || src >= x.cfg.Sources || dst < 0 || dst >= x.cfg.Destinations {
+		panic(fmt.Sprintf("xbar: endpoint out of range (%d,%d)", src, dst))
+	}
+	t := x.inject[src].Transfer(at, bytes)
+	if x.bisection != nil {
+		if tb := x.bisection.Transfer(at, bytes); tb > t {
+			t = tb
+		}
+	}
+	if te := x.eject[dst].Transfer(at, bytes); te > t {
+		t = te
+	}
+	return t + x.cfg.Latency
+}
+
+// InjectUtilization reports a source port's utilization over elapsed
+// cycles.
+func (x *Crossbar) InjectUtilization(src int, elapsed sim.Cycle) float64 {
+	return x.inject[src].Utilization(elapsed)
+}
+
+// EjectUtilization reports a destination port's utilization.
+func (x *Crossbar) EjectUtilization(dst int, elapsed sim.Cycle) float64 {
+	return x.eject[dst].Utilization(elapsed)
+}
+
+// TotalBytes reports all bytes moved through the fabric.
+func (x *Crossbar) TotalBytes() uint64 {
+	var total uint64
+	for _, p := range x.inject {
+		total += p.BusyBytes()
+	}
+	return total
+}

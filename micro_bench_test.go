@@ -1,0 +1,187 @@
+// Micro-benchmarks for the substrate hot paths: codec throughput, cache
+// lookup cost, DRAM scheduling, and end-to-end simulation rate. These are
+// conventional testing.B benchmarks (per-op timing), unlike the
+// experiment harness in bench_test.go.
+package cachecraft
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachecraft/internal/cache"
+	"cachecraft/internal/config"
+	"cachecraft/internal/dram"
+	"cachecraft/internal/ecc"
+	"cachecraft/internal/gpu"
+	"cachecraft/internal/mem"
+	"cachecraft/internal/protect"
+	"cachecraft/internal/sim"
+	"cachecraft/internal/trace"
+)
+
+func BenchmarkSECDEDEncode32B(b *testing.B) {
+	codec, err := ecc.NewSECDEDSector(32, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sector := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(sector)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Encode(sector)
+	}
+}
+
+func BenchmarkSECDEDDecodeClean(b *testing.B) {
+	codec, err := ecc.NewSECDEDSector(32, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sector := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(sector)
+	red := codec.Encode(sector)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Decode(sector, red)
+	}
+}
+
+func BenchmarkRSEncode32B(b *testing.B) {
+	codec, err := ecc.NewRSSector(32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sector := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(sector)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Encode(sector)
+	}
+}
+
+func BenchmarkRSDecodeClean(b *testing.B) {
+	codec, err := ecc.NewRSSector(32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sector := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(sector)
+	red := codec.Encode(sector)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Decode(sector, red)
+	}
+}
+
+func BenchmarkRSDecodeTwoErrors(b *testing.B) {
+	codec, err := ecc.NewRSSector(32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(golden)
+	red := codec.Encode(golden)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sector := append([]byte(nil), golden...)
+		parity := append([]byte(nil), red...)
+		sector[3] ^= 0x41
+		sector[17] ^= 0x9c
+		b.StartTimer()
+		if res := codec.Decode(sector, parity); res != ecc.Corrected {
+			b.Fatalf("decode = %v", res)
+		}
+	}
+}
+
+func BenchmarkTaggedCheck(b *testing.B) {
+	codec, err := ecc.NewTagged(32, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(data)
+	tag := []byte{0xa}
+	parity := codec.Encode(data, tag)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Check(data, parity, tag)
+	}
+}
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := cache.New(cache.Config{
+		Name: "bench", SizeBytes: 1 << 20, Ways: 16,
+		LineBytes: 128, SectorBytes: 32, HashSets: true,
+	})
+	for a := uint64(0); a < 1<<20; a += 128 {
+		c.Fill(a, 0b1111, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*32)%(1<<20), false)
+	}
+}
+
+func BenchmarkCacheFillEvict(b *testing.B) {
+	c := cache.New(cache.Config{
+		Name: "bench", SizeBytes: 256 << 10, Ways: 16,
+		LineBytes: 128, SectorBytes: 32, HashSets: true,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*128, 0b1111, 0b0001)
+	}
+}
+
+func BenchmarkDRAMRandomAccess(b *testing.B) {
+	eng := sim.NewEngine()
+	d := dram.New(eng, dram.DefaultConfig())
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(rng.Intn(1<<26)) &^ 31
+		d.Submit(eng.Now(), mem.Request{Addr: addr, Bytes: 32, Class: mem.Demand})
+		if i%64 == 0 {
+			eng.Run(1 << 62)
+		}
+	}
+	eng.Run(1 << 62)
+}
+
+func BenchmarkCoalesce(b *testing.B) {
+	w, err := trace.Build("random", trace.DefaultParams(0, 4, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, _ := w.Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gpu.Coalesce(a, 32)
+	}
+}
+
+// BenchmarkEndToEndSimulation measures simulator throughput (warp accesses
+// simulated per second) on the quick configuration.
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	cfg := config.Quick()
+	cfg.AccessesPerSM = 300
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := gpu.New(cfg, "scan", protect.NewInlineNaive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.NumSMs*cfg.AccessesPerSM), "accesses/op")
+}

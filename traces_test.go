@@ -1,0 +1,68 @@
+package cachecraft
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReplayMatchesDirectRun: replaying a recorded workload must produce
+// exactly the same simulation results as running the generator directly.
+func TestReplayMatchesDirectRun(t *testing.T) {
+	cfg := quickCfg()
+
+	direct, err := Run(cfg, "scan", "cachecraft")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record each SM's stream.
+	recorded := make([]*bytes.Buffer, cfg.NumSMs)
+	for sm := 0; sm < cfg.NumSMs; sm++ {
+		w, err := BuildWorkload("scan", sm, cfg.NumSMs, cfg.Seed,
+			cfg.AccessesPerSM, cfg.FootprintBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recorded[sm] = &bytes.Buffer{}
+		if _, err := RecordTrace(w, recorded[sm]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replayed, err := RunCustom(cfg, "cachecraft", func(smID, numSMs int) (Workload, error) {
+		return NewTraceReplayer("scan-replay", bytes.NewReader(recorded[smID].Bytes()),
+			cfg.FootprintBytes)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if replayed.Cycles != direct.Cycles {
+		t.Fatalf("cycles differ: replay %d vs direct %d", replayed.Cycles, direct.Cycles)
+	}
+	if replayed.Instructions != direct.Instructions {
+		t.Fatalf("instructions differ: %d vs %d", replayed.Instructions, direct.Instructions)
+	}
+	for k, v := range direct.DRAMBytes {
+		if replayed.DRAMBytes[k] != v {
+			t.Fatalf("traffic %s differs: %d vs %d", k, replayed.DRAMBytes[k], v)
+		}
+	}
+}
+
+func TestRunCustomValidatesFootprint(t *testing.T) {
+	cfg := quickCfg()
+	_, err := RunCustom(cfg, "none", func(smID, numSMs int) (Workload, error) {
+		w, err := BuildWorkload("stream", smID, numSMs, 1, 10, cfg.MemoryBytes*4)
+		return w, err
+	})
+	if err == nil {
+		t.Fatal("oversized custom footprint accepted")
+	}
+}
+
+func TestRunCustomUnknownScheme(t *testing.T) {
+	if _, err := RunCustom(quickCfg(), "nope", nil); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
