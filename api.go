@@ -21,6 +21,9 @@
 package cachecraft
 
 import (
+	"context"
+
+	"cachecraft/internal/bench"
 	"cachecraft/internal/config"
 	"cachecraft/internal/core"
 	"cachecraft/internal/gpu"
@@ -78,6 +81,35 @@ func Run(cfg Config, workload, scheme string) (Result, error) {
 	res.Workload = workload
 	res.Scheme = scheme
 	return res, nil
+}
+
+// RunAll simulates every (workload, scheme) pair in the cross product,
+// fanning the independent simulations out across a worker pool bounded by
+// runtime.NumCPU(). Each simulation is deterministic (workload generation
+// is seeded per (seed, SM) with no shared mutable state), so the returned
+// results are byte-identical to running the pairs serially. Results come
+// back in deterministic order: workloads major, schemes minor. The first
+// failure cancels outstanding work and is returned.
+func RunAll(cfg Config, workloads, schemes []string) ([]Result, error) {
+	r := bench.NewRunner(cfg)
+	specs := make([]bench.Spec, 0, len(workloads)*len(schemes))
+	for _, wl := range workloads {
+		for _, s := range schemes {
+			specs = append(specs, bench.Spec{CfgID: "base", Workload: wl, Variant: s})
+		}
+	}
+	if err := r.Prefetch(context.Background(), specs); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(specs))
+	for i, s := range specs {
+		res, err := r.Result(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }
 
 // RunCacheCraft simulates the workload under a CacheCraft controller built

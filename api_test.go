@@ -33,6 +33,48 @@ func TestRunPublicAPI(t *testing.T) {
 	}
 }
 
+// TestRunAllMatchesSerialRuns: the parallel batch API must return the
+// same results, in the same order, as serial Run calls over the grid.
+func TestRunAllMatchesSerialRuns(t *testing.T) {
+	workloads := []string{"stream", "scan"}
+	schemes := []string{"none", "cachecraft"}
+	batch, err := RunAll(quickCfg(), workloads, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(workloads)*len(schemes) {
+		t.Fatalf("got %d results, want %d", len(batch), len(workloads)*len(schemes))
+	}
+	i := 0
+	for _, wl := range workloads {
+		for _, s := range schemes {
+			got := batch[i]
+			i++
+			if got.Workload != wl || got.Scheme != s {
+				t.Fatalf("result %d is %s/%s, want %s/%s (order must be deterministic)",
+					i-1, got.Workload, got.Scheme, wl, s)
+			}
+			want, err := Run(quickCfg(), wl, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cycles != want.Cycles || got.Instructions != want.Instructions {
+				t.Fatalf("%s/%s: parallel result diverged: cycles %d/%d, instructions %d/%d",
+					wl, s, got.Cycles, want.Cycles, got.Instructions, want.Instructions)
+			}
+		}
+	}
+}
+
+func TestRunAllRejectsUnknownScheme(t *testing.T) {
+	if _, err := RunAll(quickCfg(), []string{"stream"}, []string{"nope"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := RunAll(quickCfg(), []string{"nope"}, []string{"none"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
 func TestRunRejectsUnknownNames(t *testing.T) {
 	if _, err := Run(quickCfg(), "nope", "none"); err == nil {
 		t.Fatal("unknown workload accepted")

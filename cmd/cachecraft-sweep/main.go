@@ -9,6 +9,12 @@
 //	cachecraft-sweep -run fig4
 //	cachecraft-sweep -run all            # the full evaluation (slow)
 //	cachecraft-sweep -run fig4 -quick    # scaled-down smoke version
+//	cachecraft-sweep -run all -j 8       # at most 8 concurrent simulations
+//
+// Simulations fan out across a bounded worker pool (-j, default
+// runtime.NumCPU()). Workload generation is deterministic per (seed, SM),
+// so stdout is byte-identical for every -j value; per-experiment wall
+// times go to stderr.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"cachecraft/internal/bench"
@@ -29,6 +36,7 @@ func main() {
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		quick = flag.Bool("quick", false, "use the scaled-down configuration (fast, not meaningful)")
 		csv   = flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+		jobs  = flag.Int("j", runtime.NumCPU(), "max simulations running concurrently")
 	)
 	flag.Parse()
 
@@ -45,6 +53,7 @@ func main() {
 		base = config.Quick()
 	}
 	r := bench.NewRunner(base)
+	r.SetWorkers(*jobs)
 
 	var out io.Writer = os.Stdout
 	if *csv {
@@ -52,13 +61,18 @@ func main() {
 	}
 	run := func(e bench.Experiment) {
 		start := time.Now()
+		before := r.Runs()
 		fmt.Printf("\n### %s — %s\n\n", e.ID, e.Title)
 		if err := e.Run(r, base, out); err != nil {
 			fmt.Fprintf(os.Stderr, "cachecraft-sweep: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[%s done in %.1fs; %d simulations cached]\n",
-			e.ID, time.Since(start).Seconds(), r.Runs())
+		// Deterministic accounting on stdout, wall time on stderr: stdout
+		// stays byte-identical across -j values.
+		fmt.Printf("\n[%s: %d new simulations; %d cached total]\n",
+			e.ID, r.Runs()-before, r.Runs())
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n",
+			e.ID, time.Since(start).Seconds())
 	}
 
 	if *runID == "all" {

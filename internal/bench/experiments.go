@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -56,6 +57,32 @@ func All() []Experiment {
 	}
 }
 
+// specGrid builds the cross product of configs × workloads × variants in
+// deterministic (row-major) order, for fanning out through
+// Runner.Prefetch before an experiment collects its rows serially.
+func specGrid(cfgIDs, workloads, variants []string) []Spec {
+	out := make([]Spec, 0, len(cfgIDs)*len(workloads)*len(variants))
+	for _, c := range cfgIDs {
+		for _, wl := range workloads {
+			for _, v := range variants {
+				out = append(out, Spec{CfgID: c, Workload: wl, Variant: v})
+			}
+		}
+	}
+	return out
+}
+
+// prefetch fans an experiment's full spec set out across the runner's
+// worker pool; the experiment's subsequent Result calls are then memo
+// hits, so its rendered output is independent of execution order.
+func prefetch(r *Runner, specs ...[]Spec) error {
+	var all []Spec
+	for _, s := range specs {
+		all = append(all, s...)
+	}
+	return r.Prefetch(context.Background(), all)
+}
+
 // ByID finds an experiment.
 func ByID(id string) (Experiment, error) {
 	for _, e := range All() {
@@ -95,6 +122,9 @@ func table1(r *Runner, base config.GPU, w io.Writer) error {
 func table2(r *Runner, base config.GPU, w io.Writer) error {
 	t := stats.NewTable("Table 2: workload characterization (unprotected baseline)",
 		"workload", "IPC", "L1 hit", "L2 hit", "row hit", "DRAM MB", "rd:wr")
+	if err := prefetch(r, specGrid([]string{"base"}, trace.Names(), []string{"none"})); err != nil {
+		return err
+	}
 	for _, wl := range trace.Names() {
 		res, err := r.Result(Spec{CfgID: "base", Workload: wl, Variant: "none"})
 		if err != nil {
@@ -128,6 +158,9 @@ func table2(r *Runner, base config.GPU, w io.Writer) error {
 func fig4(r *Runner, base config.GPU, w io.Writer) error {
 	t := stats.NewTable("Fig. 4: performance normalized to no-ECC (higher is better)",
 		"workload", "none", "inline-naive", "ecc-cache", "cachecraft")
+	if err := prefetch(r, specGrid([]string{"base"}, trace.Names(), StandardSchemes())); err != nil {
+		return err
+	}
 	gm := map[string][]float64{}
 	for _, wl := range trace.Names() {
 		baseRes, err := r.Result(Spec{CfgID: "base", Workload: wl, Variant: "none"})
@@ -160,6 +193,9 @@ func fig4(r *Runner, base config.GPU, w io.Writer) error {
 func fig5(r *Runner, base config.GPU, w io.Writer) error {
 	t := stats.NewTable("Fig. 5: DRAM traffic by class, normalized to the no-ECC total",
 		"workload", "scheme", "demand", "redundancy", "writeback", "rmw", "reconstruct", "total")
+	if err := prefetch(r, specGrid([]string{"base"}, trace.Names(), StandardSchemes())); err != nil {
+		return err
+	}
 	for _, wl := range trace.Names() {
 		baseRes, err := r.Result(Spec{CfgID: "base", Workload: wl, Variant: "none"})
 		if err != nil {
@@ -191,6 +227,9 @@ func fig5(r *Runner, base config.GPU, w io.Writer) error {
 func fig6(r *Runner, base config.GPU, w io.Writer) error {
 	t := stats.NewTable("Fig. 6: where CacheCraft redundancy lookups are served",
 		"workload", "RC hit", "wbuf fwd", "merged in-flight", "DRAM", "lookups")
+	if err := prefetch(r, specGrid([]string{"base"}, trace.Names(), []string{"cachecraft"})); err != nil {
+		return err
+	}
 	for _, wl := range trace.Names() {
 		res, err := r.Result(Spec{CfgID: "base", Workload: wl, Variant: "cachecraft"})
 		if err != nil {
@@ -219,6 +258,9 @@ func fig6(r *Runner, base config.GPU, w io.Writer) error {
 func fig7(r *Runner, base config.GPU, w io.Writer) error {
 	t := stats.NewTable("Fig. 7: reconstruction usefulness (fractions of reconstructed sectors)",
 		"workload", "issued", "merged w/ demand", "used later", "wasted", "useful frac")
+	if err := prefetch(r, specGrid([]string{"base"}, trace.Names(), []string{"cachecraft"})); err != nil {
+		return err
+	}
 	for _, wl := range trace.Names() {
 		res, err := r.Result(Spec{CfgID: "base", Workload: wl, Variant: "cachecraft"})
 		if err != nil {
@@ -249,10 +291,16 @@ func fig7(r *Runner, base config.GPU, w io.Writer) error {
 func fig8(r *Runner, base config.GPU, w io.Writer) error {
 	// RC capacity sweep (CacheCraft option variants).
 	rcSizes := []int{16 << 10, 64 << 10, 256 << 10}
+	rcVariants := []string{"none"}
 	for _, sz := range rcSizes {
 		opt := core.DefaultOptions()
 		opt.RCSizeBytes = sz
-		r.AddCacheCraftVariant(fmt.Sprintf("cc-rc%dk", sz>>10), opt)
+		name := fmt.Sprintf("cc-rc%dk", sz>>10)
+		r.AddCacheCraftVariant(name, opt)
+		rcVariants = append(rcVariants, name)
+	}
+	if err := prefetch(r, specGrid([]string{"base"}, RepWorkloads(), rcVariants)); err != nil {
+		return err
 	}
 	t := stats.NewTable("Fig. 8a: CacheCraft speedup vs no-ECC, RC capacity sweep",
 		"workload", "RC 16K", "RC 64K", "RC 256K")
@@ -276,10 +324,16 @@ func fig8(r *Runner, base config.GPU, w io.Writer) error {
 
 	// L2 capacity sweep (config variants; normalize to none at same L2).
 	l2Sizes := []int{base.L2.SizeBytes / 2, base.L2.SizeBytes, base.L2.SizeBytes * 2}
+	l2IDs := make([]string, 0, len(l2Sizes))
 	for _, sz := range l2Sizes {
 		cfg := base
 		cfg.L2.SizeBytes = sz
-		r.AddConfig(fmt.Sprintf("l2-%dm", sz>>20), cfg)
+		id := fmt.Sprintf("l2-%dm", sz>>20)
+		r.AddConfig(id, cfg)
+		l2IDs = append(l2IDs, id)
+	}
+	if err := prefetch(r, specGrid(l2IDs, RepWorkloads(), []string{"none", "cachecraft"})); err != nil {
+		return err
 	}
 	t2 := stats.NewTable("Fig. 8b: CacheCraft speedup vs no-ECC, L2 capacity sweep",
 		"workload",
@@ -334,6 +388,10 @@ func fig9(r *Runner, base config.GPU, w io.Writer) error {
 		r.AddCacheCraftVariant(name, opt)
 	}
 	order := append([]string{"cachecraft"}, sortedKeys(variants)...)
+	if err := prefetch(r,
+		specGrid([]string{"base"}, AblationWorkloads(), append([]string{"none"}, order...))); err != nil {
+		return err
+	}
 	t := stats.NewTable("Fig. 9: ablation — speedup vs no-ECC with one mechanism disabled",
 		append([]string{"workload"}, order...)...)
 	gm := map[string][]float64{}
@@ -369,6 +427,9 @@ func fig10(r *Runner, base config.GPU, w io.Writer) error {
 	model := energy.Default()
 	t := stats.NewTable("Fig. 10: memory-system dynamic energy normalized to no-ECC",
 		"workload", "none", "inline-naive", "ecc-cache", "cachecraft")
+	if err := prefetch(r, specGrid([]string{"base"}, trace.Names(), StandardSchemes())); err != nil {
+		return err
+	}
 	for _, wl := range trace.Names() {
 		baseRes, err := r.Result(Spec{CfgID: "base", Workload: wl, Variant: "none"})
 		if err != nil {
@@ -404,11 +465,16 @@ func fig11(r *Runner, base config.GPU, w io.Writer) error {
 		{"geo-8-row", layout.DefaultGeometry(), "row-local", "1/8 row-local"},
 		{"geo-16-row", layout.Geometry1of16(), "row-local", "1/16 row-local"},
 	}
+	geoIDs := make([]string, 0, len(cases))
 	for _, c := range cases {
 		cfg := base
 		cfg.Geometry = c.geo
 		cfg.Layout = c.lay
 		r.AddConfig(c.id, cfg)
+		geoIDs = append(geoIDs, c.id)
+	}
+	if err := prefetch(r, specGrid(geoIDs, RepWorkloads(), []string{"none", "cachecraft"})); err != nil {
+		return err
 	}
 	t := stats.NewTable("Fig. 11: protection geometry/layout sweep — CacheCraft speedup vs no-ECC (same geometry)",
 		"workload", cases[0].desc, cases[1].desc, cases[2].desc, cases[3].desc)
@@ -436,6 +502,10 @@ func fig11(r *Runner, base config.GPU, w io.Writer) error {
 func fig12(r *Runner, base config.GPU, w io.Writer) error {
 	r.AddCacheCraftVariant("cc-noW", AblationVariants()["cc-noW"])
 	writeHeavy := []string{"scan", "histogram", "transpose", "stencil"}
+	if err := prefetch(r, specGrid([]string{"base"}, writeHeavy,
+		[]string{"inline-naive", "ecc-cache", "cc-noW", "cachecraft"})); err != nil {
+		return err
+	}
 	t := stats.NewTable("Fig. 12: redundancy read-modify-writes per 1k data writebacks",
 		"workload", "inline-naive", "ecc-cache", "cachecraft-noW", "cachecraft", "cc blind writes")
 	for _, wl := range writeHeavy {
@@ -513,6 +583,10 @@ func fig13(r *Runner, base config.GPU, w io.Writer) error {
 	srrip := base
 	srrip.L2.Repl = cache.SRRIP
 	r.AddConfig("l2-srrip", srrip)
+	if err := prefetch(r, specGrid([]string{"base", "l2-srrip"}, RepWorkloads(),
+		[]string{"none", "cachecraft"})); err != nil {
+		return err
+	}
 	t := stats.NewTable("Fig. 13 (extension): L2 replacement policy — speedup vs no-ECC at same policy",
 		"workload", "LRU none", "LRU cachecraft", "SRRIP none", "SRRIP cachecraft")
 	for _, wl := range RepWorkloads() {
@@ -549,6 +623,14 @@ func fig14(r *Runner, base config.GPU, w io.Writer) error {
 			return "base"
 		}
 		return fmt.Sprintf("seed-%d", seed)
+	}
+	seedIDs := make([]string, 0, len(seeds))
+	for _, seed := range seeds {
+		seedIDs = append(seedIDs, cfgID(seed))
+	}
+	if err := prefetch(r, specGrid(seedIDs, []string{"stream", "bfs", "histogram"},
+		[]string{"none", "cachecraft"})); err != nil {
+		return err
 	}
 	t := stats.NewTable("Fig. 14 (extension): CacheCraft speedup vs no-ECC across workload seeds",
 		"workload", "seed A", "seed B", "seed C", "spread")
@@ -596,6 +678,15 @@ func fig15(r *Runner, base config.GPU, w io.Writer) error {
 		}
 		return fmt.Sprintf("err-%dppm", ppm)
 	}
+	errIDs := make([]string, 0, len(rates))
+	for _, ppm := range rates {
+		errIDs = append(errIDs, cfgID(ppm))
+	}
+	if err := prefetch(r,
+		specGrid([]string{"base"}, RepWorkloads(), []string{"none"}),
+		specGrid(errIDs, RepWorkloads(), []string{"cachecraft"})); err != nil {
+		return err
+	}
 	t := stats.NewTable("Fig. 15 (extension): CacheCraft speedup vs error-free no-ECC under correctable-error storms",
 		"workload", "0 ppm", "1k ppm", "10k ppm", "100k ppm", "scrubs @100k")
 	for _, wl := range RepWorkloads() {
@@ -627,6 +718,10 @@ func fig15(r *Runner, base config.GPU, w io.Writer) error {
 func fig16(r *Runner, base config.GPU, w io.Writer) error {
 	t := stats.NewTable("Fig. 16 (extension): speedup vs no-ECC — CacheCraft against the free-redundancy bound",
 		"workload", "cachecraft", "ideal", "headroom left", "floor cost (1-ideal)")
+	if err := prefetch(r, specGrid([]string{"base"}, trace.Names(),
+		[]string{"none", "cachecraft", "ideal"})); err != nil {
+		return err
+	}
 	for _, wl := range trace.Names() {
 		baseRes, err := r.Result(Spec{CfgID: "base", Workload: wl, Variant: "none"})
 		if err != nil {

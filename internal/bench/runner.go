@@ -6,7 +6,11 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"reflect"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -25,21 +29,41 @@ type Spec struct {
 	Variant  string
 }
 
-// Runner executes simulations on demand and memoizes results.
+// call is one in-flight or completed simulation (singleflight slot).
+// Waiters block on done; res/err are immutable once done is closed.
+type call struct {
+	done chan struct{}
+	res  gpu.Result
+	err  error
+}
+
+// errAbandoned marks a call whose leader was cancelled before the
+// simulation started; waiters observing it retry with their own context.
+var errAbandoned = errors.New("bench: in-flight simulation abandoned")
+
+// Runner executes simulations on demand, memoizes results, and bounds
+// concurrent execution with a worker-slot semaphore. Concurrent requests
+// for the same Spec are deduplicated (singleflight): the first request
+// runs the simulation while the rest block on the in-flight call and
+// share its result, so a parallel fan-out never races or duplicates work.
 type Runner struct {
 	mu      sync.Mutex
-	memo    map[Spec]gpu.Result
+	memo    map[Spec]*call
 	configs map[string]config.GPU
 	facts   map[string]protect.Factory
+	runs    int           // completed (successful) simulations
+	slots   chan struct{} // bounded worker slots
 }
 
 // NewRunner builds a runner seeded with the base configuration under id
-// "base" and the four standard scheme variants.
+// "base" and the four standard scheme variants. The worker pool defaults
+// to runtime.NumCPU() concurrent simulations; see SetWorkers.
 func NewRunner(base config.GPU) *Runner {
 	r := &Runner{
-		memo:    make(map[Spec]gpu.Result),
+		memo:    make(map[Spec]*call),
 		configs: map[string]config.GPU{"base": base},
 		facts:   make(map[string]protect.Factory),
+		slots:   make(chan struct{}, runtime.NumCPU()),
 	}
 	for _, s := range schemes.Names() {
 		f, err := schemes.ByName(s)
@@ -51,14 +75,47 @@ func NewRunner(base config.GPU) *Runner {
 	return r
 }
 
+// SetWorkers bounds the number of simulations executing at once (n < 1 is
+// clamped to 1). Call it before fanning work out; simulations already in
+// flight keep the slot they hold.
+func (r *Runner) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.slots = make(chan struct{}, n)
+}
+
+// Workers reports the current worker-pool bound.
+func (r *Runner) Workers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cap(r.slots)
+}
+
 // AddConfig registers a configuration variant (sensitivity sweeps).
+// Re-registering an id with a different configuration invalidates every
+// memoized result keyed by that id, so later Result calls simulate the
+// new configuration instead of silently replaying the old one.
+// Re-registering the identical configuration keeps the memo intact.
 func (r *Runner) AddConfig(id string, cfg config.GPU) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if old, ok := r.configs[id]; ok && !reflect.DeepEqual(old, cfg) {
+		for s := range r.memo {
+			if s.CfgID == id {
+				delete(r.memo, s)
+			}
+		}
+	}
 	r.configs[id] = cfg
 }
 
 // AddVariant registers a scheme variant (ablations) under the given name.
+// Factories are not comparable, so unlike AddConfig this cannot detect a
+// semantically different re-registration; register distinct variants
+// under distinct names.
 func (r *Runner) AddVariant(name string, f protect.Factory) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -72,20 +129,80 @@ func (r *Runner) AddCacheCraftVariant(name string, opt core.Options) {
 
 // Result runs (or replays) one simulation.
 func (r *Runner) Result(s Spec) (gpu.Result, error) {
-	r.mu.Lock()
-	if res, ok := r.memo[s]; ok {
+	return r.ResultCtx(context.Background(), s)
+}
+
+// ResultCtx runs (or replays) one simulation, honouring ctx while waiting
+// for a worker slot or for another goroutine's in-flight run of the same
+// Spec. A simulation that has already started is never interrupted: its
+// result stays useful for the memo even if this caller gives up.
+func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
+	for {
+		r.mu.Lock()
+		if c, ok := r.memo[s]; ok {
+			r.mu.Unlock()
+			select {
+			case <-c.done:
+				if errors.Is(c.err, errAbandoned) {
+					continue // leader was cancelled before running; retry
+				}
+				return c.res, c.err
+			case <-ctx.Done():
+				return gpu.Result{}, ctx.Err()
+			}
+		}
+		cfg, okC := r.configs[s.CfgID]
+		f, okF := r.facts[s.Variant]
+		if !okC {
+			r.mu.Unlock()
+			return gpu.Result{}, fmt.Errorf("bench: unknown config %q", s.CfgID)
+		}
+		if !okF {
+			r.mu.Unlock()
+			return gpu.Result{}, fmt.Errorf("bench: unknown variant %q", s.Variant)
+		}
+		c := &call{done: make(chan struct{})}
+		r.memo[s] = c
+		slots := r.slots
 		r.mu.Unlock()
-		return res, nil
+
+		// Check cancellation before racing for a slot: with both a free
+		// slot and a done context ready, select would choose arbitrarily.
+		if err := ctx.Err(); err != nil {
+			r.finish(s, c, gpu.Result{}, errAbandoned)
+			return gpu.Result{}, err
+		}
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+			r.finish(s, c, gpu.Result{}, errAbandoned)
+			return gpu.Result{}, ctx.Err()
+		}
+		res, err := simulate(cfg, f, s)
+		<-slots
+		r.finish(s, c, res, err)
+		return res, err
 	}
-	cfg, okC := r.configs[s.CfgID]
-	f, okF := r.facts[s.Variant]
+}
+
+// finish publishes a call's outcome. Failed or abandoned calls are
+// removed from the memo (if still current) so a later request retries.
+func (r *Runner) finish(s Spec, c *call, res gpu.Result, err error) {
+	r.mu.Lock()
+	c.res, c.err = res, err
+	if err != nil {
+		if r.memo[s] == c {
+			delete(r.memo, s)
+		}
+	} else {
+		r.runs++
+	}
 	r.mu.Unlock()
-	if !okC {
-		return gpu.Result{}, fmt.Errorf("bench: unknown config %q", s.CfgID)
-	}
-	if !okF {
-		return gpu.Result{}, fmt.Errorf("bench: unknown variant %q", s.Variant)
-	}
+	close(c.done)
+}
+
+// simulate executes one simulation from scratch.
+func simulate(cfg config.GPU, f protect.Factory, s Spec) (gpu.Result, error) {
 	m, err := gpu.New(cfg, s.Workload, f)
 	if err != nil {
 		return gpu.Result{}, err
@@ -96,10 +213,40 @@ func (r *Runner) Result(s Spec) (gpu.Result, error) {
 	}
 	res.Workload = s.Workload
 	res.Scheme = s.Variant
-	r.mu.Lock()
-	r.memo[s] = res
-	r.mu.Unlock()
 	return res, nil
+}
+
+// Prefetch fans the given specs out across the worker pool and blocks
+// until every one has completed. Duplicate specs (and specs another
+// caller is already running) collapse onto a single simulation. The
+// first failure cancels the batch's still-queued work and is returned;
+// completed results stay memoized either way, so subsequent Result calls
+// for the survivors are cache hits.
+func (r *Runner) Prefetch(ctx context.Context, specs []Spec) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for _, s := range specs {
+		wg.Add(1)
+		go func(s Spec) {
+			defer wg.Done()
+			if _, err := r.ResultCtx(ctx, s); err != nil && !errors.Is(err, context.Canceled) {
+				errOnce.Do(func() {
+					firstErr = err
+					cancel()
+				})
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return firstErr
 }
 
 // MustResult is Result for experiment code where configuration and
@@ -112,11 +259,11 @@ func (r *Runner) MustResult(s Spec) gpu.Result {
 	return res
 }
 
-// Runs reports how many distinct simulations have been executed.
+// Runs reports how many distinct simulations have completed successfully.
 func (r *Runner) Runs() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.memo)
+	return r.runs
 }
 
 // StandardSchemes lists the four evaluation schemes in order.

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"cachecraft/internal/gpu"
+)
+
+// TestConcurrentSameSpecSingleflight: N goroutines requesting the same
+// Spec must execute exactly one simulation, and every caller must observe
+// the identical result.
+func TestConcurrentSameSpecSingleflight(t *testing.T) {
+	r := NewRunner(quickBase())
+	r.SetWorkers(4)
+	s := Spec{CfgID: "base", Workload: "stream", Variant: "none"}
+
+	const n = 16
+	results := make([]gpu.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Result(s)
+		}(i)
+	}
+	wg.Wait()
+
+	if r.Runs() != 1 {
+		t.Fatalf("runs = %d, want exactly 1 simulation for %d concurrent requests", r.Runs(), n)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i].Cycles != results[0].Cycles ||
+			results[i].Instructions != results[0].Instructions ||
+			results[i].IPC != results[0].IPC {
+			t.Fatalf("goroutine %d observed a different result: %+v vs %+v",
+				i, results[i], results[0])
+		}
+	}
+}
+
+// TestPrefetchFansOutAndMemoizes: a Prefetch batch (with duplicates) runs
+// each distinct spec once; subsequent Result calls are memo hits.
+func TestPrefetchFansOutAndMemoizes(t *testing.T) {
+	r := NewRunner(quickBase())
+	r.SetWorkers(4)
+	specs := specGrid([]string{"base"}, []string{"stream", "scan"}, []string{"none", "cachecraft"})
+	specs = append(specs, specs...) // duplicates must collapse
+	if err := r.Prefetch(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs() != 4 {
+		t.Fatalf("runs = %d, want 4 distinct simulations", r.Runs())
+	}
+	if _, err := r.Result(specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs() != 4 {
+		t.Fatalf("Result after Prefetch re-ran a simulation: runs = %d", r.Runs())
+	}
+}
+
+// TestPrefetchPropagatesFirstError: a bad spec in the batch surfaces as an
+// error instead of being swallowed, and good specs stay retrievable.
+func TestPrefetchPropagatesFirstError(t *testing.T) {
+	r := NewRunner(quickBase())
+	specs := []Spec{
+		{CfgID: "base", Workload: "stream", Variant: "none"},
+		{CfgID: "base", Workload: "no-such-workload", Variant: "none"},
+	}
+	if err := r.Prefetch(context.Background(), specs); err == nil {
+		t.Fatal("Prefetch with an unknown workload reported no error")
+	}
+	if _, err := r.Result(specs[0]); err != nil {
+		t.Fatalf("good spec unavailable after failed batch: %v", err)
+	}
+}
+
+// TestResultCtxCancellation: a cancelled context aborts work that has not
+// started, and the spec remains runnable afterwards.
+func TestResultCtxCancellation(t *testing.T) {
+	r := NewRunner(quickBase())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := Spec{CfgID: "base", Workload: "stream", Variant: "none"}
+	if _, err := r.ResultCtx(ctx, s); err == nil {
+		t.Fatal("cancelled context produced a result")
+	}
+	if r.Runs() != 0 {
+		t.Fatalf("cancelled request still simulated: runs = %d", r.Runs())
+	}
+	if _, err := r.Result(s); err != nil {
+		t.Fatalf("spec unrunnable after cancellation: %v", err)
+	}
+	if r.Runs() != 1 {
+		t.Fatalf("runs = %d, want 1", r.Runs())
+	}
+}
+
+// TestAddConfigInvalidatesStaleMemo: re-registering a config id with a
+// different configuration must not serve simulations of the old one.
+func TestAddConfigInvalidatesStaleMemo(t *testing.T) {
+	r := NewRunner(quickBase())
+	small := quickBase()
+	small.AccessesPerSM = 200
+	r.AddConfig("sweep", small)
+	s := Spec{CfgID: "sweep", Workload: "stream", Variant: "none"}
+	a, err := r.Result(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	big := quickBase()
+	big.AccessesPerSM = 400
+	r.AddConfig("sweep", big)
+	b, err := r.Result(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs() != 2 {
+		t.Fatalf("runs = %d, want 2 (memo must be invalidated)", r.Runs())
+	}
+	if b.Instructions <= a.Instructions {
+		t.Fatalf("stale result served: %d instructions before, %d after doubling the workload",
+			a.Instructions, b.Instructions)
+	}
+
+	// Re-registering the identical config keeps the memo.
+	r.AddConfig("sweep", big)
+	if _, err := r.Result(s); err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs() != 2 {
+		t.Fatalf("identical re-register invalidated the memo: runs = %d", r.Runs())
+	}
+}
+
+func TestSetWorkersClampsAndReports(t *testing.T) {
+	r := NewRunner(quickBase())
+	r.SetWorkers(0)
+	if r.Workers() != 1 {
+		t.Fatalf("workers = %d, want clamp to 1", r.Workers())
+	}
+	r.SetWorkers(7)
+	if r.Workers() != 7 {
+		t.Fatalf("workers = %d, want 7", r.Workers())
+	}
+}
+
+// TestParallelSweepMatchesSerial renders every experiment through a
+// serial (1 worker) runner and a parallel (8 worker) runner and requires
+// byte-identical output: the determinism guarantee behind -j.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison is slow")
+	}
+	render := func(workers int) string {
+		r := NewRunner(quickBase())
+		r.SetWorkers(workers)
+		var buf bytes.Buffer
+		for _, e := range All() {
+			if err := e.Run(r, quickBase(), &buf); err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, e.ID, err)
+			}
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

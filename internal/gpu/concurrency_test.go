@@ -1,0 +1,75 @@
+package gpu
+
+import (
+	"sync"
+	"testing"
+
+	"cachecraft/internal/schemes"
+)
+
+// TestMachinesAreConcurrencySafe runs many independent Machine instances
+// for the same (config, workload, scheme) triple in parallel and requires
+// every run to reproduce the serial reference exactly. Machine instances
+// share no mutable package state and workload generation is seeded per
+// (seed, SMID), so this must hold — run it under -race to prove it.
+func TestMachinesAreConcurrencySafe(t *testing.T) {
+	factory, err := schemes.ByName("cachecraft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workload string) Result {
+		m, err := New(quickCfg(), workload, factory)
+		if err != nil {
+			t.Error(err)
+			return Result{}
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Error(err)
+			return Result{}
+		}
+		return res
+	}
+
+	workloads := []string{"stream", "scan", "bfs", "histogram"}
+	refs := make(map[string]Result, len(workloads))
+	for _, wl := range workloads {
+		refs[wl] = run(wl)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	const perWorkload = 4
+	var wg sync.WaitGroup
+	results := make([]Result, len(workloads)*perWorkload)
+	names := make([]string, len(workloads)*perWorkload)
+	for i, wl := range workloads {
+		for j := 0; j < perWorkload; j++ {
+			wg.Add(1)
+			go func(slot int, wl string) {
+				defer wg.Done()
+				results[slot] = run(wl)
+				names[slot] = wl
+			}(i*perWorkload+j, wl)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, res := range results {
+		ref := refs[names[i]]
+		if res.Cycles != ref.Cycles || res.Instructions != ref.Instructions {
+			t.Fatalf("%s: concurrent run diverged: cycles %d/%d, instructions %d/%d",
+				names[i], res.Cycles, ref.Cycles, res.Instructions, ref.Instructions)
+		}
+		for class, bytes := range ref.DRAMBytes {
+			if res.DRAMBytes[class] != bytes {
+				t.Fatalf("%s: concurrent run diverged on DRAM %s bytes: %d vs %d",
+					names[i], class, res.DRAMBytes[class], bytes)
+			}
+		}
+	}
+}

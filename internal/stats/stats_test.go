@@ -175,6 +175,23 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// TestTableAddRowPadsShortAndRejectsLong: short rows are padded with
+// empty cells, but a row wider than the header panics instead of silently
+// dropping cells (which would print values under the wrong columns).
+func TestTableAddRowPadsShortAndRejectsLong(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow("only")
+	if got := tab.rows[0]; len(got) != 2 || got[0] != "only" || got[1] != "" {
+		t.Fatalf("short row not padded: %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow with more cells than headers did not panic")
+		}
+	}()
+	tab.AddRow("x", "y", "overflow")
+}
+
 func TestTableAddRowfFormatsFloats(t *testing.T) {
 	tab := NewTable("", "w", "x")
 	tab.AddRowf("a", 0.123456)

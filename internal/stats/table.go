@@ -19,19 +19,22 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
 
-// AddRow appends a row. Shorter rows are padded with empty cells.
+// AddRow appends a row. Shorter rows are padded with empty cells; a row
+// with more cells than headers panics — silently dropping the overflow
+// would hide experiment bugs (a value printed under the wrong column, or
+// not at all).
 func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.headers))
-	for i := range row {
-		if i < len(cells) {
-			row[i] = cells[i]
-		}
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("stats: AddRow given %d cells for %d columns (table %q, row %q)",
+			len(cells), len(t.headers), t.title, strings.Join(cells, " | ")))
 	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
 	t.rows = append(t.rows, row)
 }
 
-// AddRowf appends a row built from (header-count) format/value pairs given
-// as alternating values; each value is rendered with %v.
+// AddRowf appends a row of plain values, one per column: float32/float64
+// render as %.3f, everything else with %v.
 func (t *Table) AddRowf(cells ...any) {
 	row := make([]string, 0, len(cells))
 	for _, c := range cells {
