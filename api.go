@@ -29,7 +29,9 @@ import (
 	"cachecraft/internal/gpu"
 	"cachecraft/internal/layout"
 	"cachecraft/internal/schemes"
+	"cachecraft/internal/store"
 	"cachecraft/internal/trace"
+	"cachecraft/internal/version"
 )
 
 // Config is the simulated GPU configuration (Table 1 of the evaluation).
@@ -56,6 +58,22 @@ func QuickConfig() Config { return config.Quick() }
 // DefaultOptions returns the full CacheCraft configuration (all four
 // mechanisms enabled).
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Version reports the simulator identity (module and simulation-semantics
+// revision, e.g. "cachecraft@r3"). It is baked into every persistent-store
+// fingerprint, so results produced by an older simulator revision are
+// never served as cache hits.
+func Version() string { return version.String() }
+
+// Fingerprint returns the canonical content address of one simulation:
+// a hex SHA-256 over (Version(), the full configuration, workload,
+// scheme). It is the key under which cachecraft-sweep -store and
+// cachecraft-serve persist results, and the {fingerprint} path segment of
+// the service's GET /v1/results endpoint. See docs/MODEL.md for the
+// canonicalization rules.
+func Fingerprint(cfg Config, workload, scheme string) string {
+	return store.Fingerprint(cfg, workload, scheme)
+}
 
 // Workloads lists the available synthetic workloads.
 func Workloads() []string { return trace.Names() }

@@ -20,6 +20,27 @@ func TestWorkloadsAndSchemesEnumerations(t *testing.T) {
 	}
 }
 
+func TestVersionAndFingerprint(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("empty simulator version")
+	}
+	a := Fingerprint(DefaultConfig(), "stream", "cachecraft")
+	if len(a) != 64 {
+		t.Fatalf("fingerprint %q is not a hex sha256", a)
+	}
+	if a != Fingerprint(DefaultConfig(), "stream", "cachecraft") {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a == Fingerprint(DefaultConfig(), "stream", "none") {
+		t.Fatal("fingerprint ignores the scheme")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed++
+	if a == Fingerprint(cfg, "stream", "cachecraft") {
+		t.Fatal("fingerprint ignores the configuration")
+	}
+}
+
 func TestRunPublicAPI(t *testing.T) {
 	res, err := Run(quickCfg(), "stream", "cachecraft")
 	if err != nil {

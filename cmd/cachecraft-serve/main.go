@@ -1,0 +1,98 @@
+// cachecraft-serve runs the simulation harness as a long-running HTTP
+// service with a persistent, content-addressed result cache: repeat
+// requests for a simulation that has already run — in this process or any
+// earlier one sharing -store — are answered from the cache without
+// simulating.
+//
+// Usage:
+//
+//	cachecraft-serve -addr :8344 -store /var/tmp/cachecraft
+//	cachecraft-serve -quick -j 4 -max-inflight 8
+//
+// Endpoints: POST /v1/simulate, POST /v1/sweep (NDJSON stream),
+// GET /v1/results/{fingerprint} (ETag/If-None-Match), GET /healthz,
+// GET /metrics. Saturation (beyond -max-inflight running plus -queue
+// waiting) returns 429. SIGINT/SIGTERM drains gracefully: the listener
+// closes, in-flight requests finish (up to -drain), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cachecraft/internal/bench"
+	"cachecraft/internal/config"
+	"cachecraft/internal/serve"
+	"cachecraft/internal/store"
+	"cachecraft/internal/version"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8344", "listen address")
+		storeDir = flag.String("store", "", "persistent result store directory (empty = in-memory only)")
+		quick    = flag.Bool("quick", false, "use the scaled-down configuration (fast, not meaningful)")
+		jobs     = flag.Int("j", runtime.NumCPU(), "max simulations running concurrently")
+		inflight = flag.Int("max-inflight", runtime.NumCPU(), "max simulation-bearing requests in flight before queueing")
+		queue    = flag.Int("queue", 0, "max queued requests beyond -max-inflight before 429 (0 = 2x max-inflight)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period")
+	)
+	flag.Parse()
+	log.SetPrefix("cachecraft-serve: ")
+	log.SetFlags(log.LstdFlags)
+
+	base := config.Default()
+	if *quick {
+		base = config.Quick()
+	}
+	r := bench.NewRunner(base)
+	r.SetWorkers(*jobs)
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("result store at %s", st.Dir())
+	}
+
+	srv := serve.New(serve.Options{
+		Base:        base,
+		Runner:      r,
+		Store:       st,
+		MaxInFlight: *inflight,
+		MaxQueue:    *queue,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("signal received; draining for up to %s", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			hs.Close()
+		}
+	}()
+
+	log.Printf("%s listening on %s (workers=%d, max-inflight=%d)", version.String(), *addr, *jobs, *inflight)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	stats := r.Stats()
+	log.Printf("drained; runs=%d memo-hits=%d dedups=%d store-hits=%d store-misses=%d",
+		stats.Runs, stats.MemoHits, stats.Dedups, stats.StoreHits, stats.StoreMisses)
+}

@@ -10,11 +10,13 @@
 //	cachecraft-sweep -run all            # the full evaluation (slow)
 //	cachecraft-sweep -run fig4 -quick    # scaled-down smoke version
 //	cachecraft-sweep -run all -j 8       # at most 8 concurrent simulations
+//	cachecraft-sweep -run all -store DIR # persist results; warm re-runs simulate nothing
 //
 // Simulations fan out across a bounded worker pool (-j, default
 // runtime.NumCPU()). Workload generation is deterministic per (seed, SM),
-// so stdout is byte-identical for every -j value; per-experiment wall
-// times go to stderr.
+// so stdout is byte-identical for every -j value — and, with -store, for
+// warm re-runs that simulate nothing at all; per-experiment wall times
+// and runner statistics go to stderr.
 package main
 
 import (
@@ -28,15 +30,17 @@ import (
 	"cachecraft/internal/bench"
 	"cachecraft/internal/config"
 	"cachecraft/internal/stats"
+	"cachecraft/internal/store"
 )
 
 func main() {
 	var (
-		runID = flag.String("run", "", "experiment id to run, or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		quick = flag.Bool("quick", false, "use the scaled-down configuration (fast, not meaningful)")
-		csv   = flag.Bool("csv", false, "emit tables as CSV (for plotting)")
-		jobs  = flag.Int("j", runtime.NumCPU(), "max simulations running concurrently")
+		runID    = flag.String("run", "", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "use the scaled-down configuration (fast, not meaningful)")
+		csv      = flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+		jobs     = flag.Int("j", runtime.NumCPU(), "max simulations running concurrently")
+		storeDir = flag.String("store", "", "persistent result store directory (empty = none)")
 	)
 	flag.Parse()
 
@@ -54,6 +58,14 @@ func main() {
 	}
 	r := bench.NewRunner(base)
 	r.SetWorkers(*jobs)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachecraft-sweep:", err)
+			os.Exit(1)
+		}
+		r.SetStore(st)
+	}
 
 	var out io.Writer = os.Stdout
 	if *csv {
@@ -61,18 +73,27 @@ func main() {
 	}
 	run := func(e bench.Experiment) {
 		start := time.Now()
-		before := r.Runs()
+		before := r.Stats()
 		fmt.Printf("\n### %s — %s\n\n", e.ID, e.Title)
 		if err := e.Run(r, base, out); err != nil {
 			fmt.Fprintf(os.Stderr, "cachecraft-sweep: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		// Deterministic accounting on stdout, wall time on stderr: stdout
-		// stays byte-identical across -j values.
-		fmt.Printf("\n[%s: %d new simulations; %d cached total]\n",
-			e.ID, r.Runs()-before, r.Runs())
+		// Deterministic accounting on stdout, wall time and runner stats
+		// on stderr: stdout stays byte-identical across -j values and
+		// across cold vs warm -store runs. A "result" is a distinct
+		// simulation materialized either by running it or by a store hit,
+		// so the count does not depend on where results came from.
+		after := r.Stats()
+		results := func(s bench.Stats) int { return s.Runs + s.StoreHits }
+		fmt.Printf("\n[%s: %d new results; %d cached total]\n",
+			e.ID, results(after)-results(before), results(after))
 		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n",
 			e.ID, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s stats: +%d sims, +%d memo hits, +%d dedups, +%d store hits, +%d store misses]\n",
+			e.ID, after.Runs-before.Runs, after.MemoHits-before.MemoHits,
+			after.Dedups-before.Dedups, after.StoreHits-before.StoreHits,
+			after.StoreMisses-before.StoreMisses)
 	}
 
 	if *runID == "all" {

@@ -41,17 +41,42 @@ type call struct {
 // simulation started; waiters observing it retry with their own context.
 var errAbandoned = errors.New("bench: in-flight simulation abandoned")
 
+// ResultStore is the persistence hook beneath the runner: a durable
+// result cache consulted after the in-memory memo misses and populated
+// after each successful simulation (check store → singleflight →
+// simulate → persist). *store.Store implements it; tests may substitute
+// stubs. Implementations must be safe for concurrent use and must treat
+// any unreadable or stale entry as a miss.
+type ResultStore interface {
+	Lookup(cfg config.GPU, workload, scheme string) (gpu.Result, bool)
+	Save(cfg config.GPU, workload, scheme string, res gpu.Result) error
+}
+
+// Stats is a snapshot of the runner's accounting.
+type Stats struct {
+	Runs        int // simulations actually executed (successfully)
+	MemoHits    int // requests answered from the in-memory memo
+	Dedups      int // requests that piggybacked on an in-flight simulation
+	StoreHits   int // requests answered from the persistent store
+	StoreMisses int // persistent-store lookups that missed
+	StoreErrors int // failed persist attempts (results still returned)
+}
+
 // Runner executes simulations on demand, memoizes results, and bounds
 // concurrent execution with a worker-slot semaphore. Concurrent requests
 // for the same Spec are deduplicated (singleflight): the first request
 // runs the simulation while the rest block on the in-flight call and
 // share its result, so a parallel fan-out never races or duplicates work.
+// With SetStore, results additionally persist across processes: a miss in
+// the memo falls through to the store before simulating, and every fresh
+// simulation is written back, so a warm re-run performs zero simulations.
 type Runner struct {
 	mu      sync.Mutex
 	memo    map[Spec]*call
 	configs map[string]config.GPU
 	facts   map[string]protect.Factory
-	runs    int           // completed (successful) simulations
+	store   ResultStore   // optional durable tier (nil = disabled)
+	stat    Stats         // counters; stat.Runs mirrors Runs()
 	slots   chan struct{} // bounded worker slots
 }
 
@@ -92,6 +117,23 @@ func (r *Runner) Workers() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return cap(r.slots)
+}
+
+// SetStore attaches a durable result store beneath the memo (nil detaches
+// it). Attach it before fanning work out; in-flight simulations persist
+// only if the store was attached when they were requested.
+func (r *Runner) SetStore(s ResultStore) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = s
+}
+
+// Stats returns a snapshot of the runner's accounting: executed
+// simulations, memo hits, singleflight dedups, and store traffic.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stat
 }
 
 // AddConfig registers a configuration variant (sensitivity sweeps).
@@ -140,6 +182,12 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 	for {
 		r.mu.Lock()
 		if c, ok := r.memo[s]; ok {
+			select {
+			case <-c.done:
+				r.stat.MemoHits++
+			default:
+				r.stat.Dedups++
+			}
 			r.mu.Unlock()
 			select {
 			case <-c.done:
@@ -163,39 +211,66 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 		}
 		c := &call{done: make(chan struct{})}
 		r.memo[s] = c
+		st := r.store
 		slots := r.slots
 		r.mu.Unlock()
+
+		// Durable tier: a store hit satisfies the call (and everyone
+		// singleflighted onto it) without consuming a worker slot.
+		if st != nil {
+			if res, ok := st.Lookup(cfg, s.Workload, s.Variant); ok {
+				r.mu.Lock()
+				r.stat.StoreHits++
+				r.mu.Unlock()
+				r.finish(s, c, res, nil, false)
+				return res, nil
+			}
+			r.mu.Lock()
+			r.stat.StoreMisses++
+			r.mu.Unlock()
+		}
 
 		// Check cancellation before racing for a slot: with both a free
 		// slot and a done context ready, select would choose arbitrarily.
 		if err := ctx.Err(); err != nil {
-			r.finish(s, c, gpu.Result{}, errAbandoned)
+			r.finish(s, c, gpu.Result{}, errAbandoned, false)
 			return gpu.Result{}, err
 		}
 		select {
 		case slots <- struct{}{}:
 		case <-ctx.Done():
-			r.finish(s, c, gpu.Result{}, errAbandoned)
+			r.finish(s, c, gpu.Result{}, errAbandoned, false)
 			return gpu.Result{}, ctx.Err()
 		}
 		res, err := simulate(cfg, f, s)
 		<-slots
-		r.finish(s, c, res, err)
+		if err == nil && st != nil {
+			// Persist best-effort: a full disk must not fail the caller,
+			// but it is counted so operators can see the store is dark.
+			if perr := st.Save(cfg, s.Workload, s.Variant, res); perr != nil {
+				r.mu.Lock()
+				r.stat.StoreErrors++
+				r.mu.Unlock()
+			}
+		}
+		r.finish(s, c, res, err, true)
 		return res, err
 	}
 }
 
 // finish publishes a call's outcome. Failed or abandoned calls are
 // removed from the memo (if still current) so a later request retries.
-func (r *Runner) finish(s Spec, c *call, res gpu.Result, err error) {
+// ran distinguishes an executed simulation from a store hit, which
+// completes the call without counting as a run.
+func (r *Runner) finish(s Spec, c *call, res gpu.Result, err error, ran bool) {
 	r.mu.Lock()
 	c.res, c.err = res, err
 	if err != nil {
 		if r.memo[s] == c {
 			delete(r.memo, s)
 		}
-	} else {
-		r.runs++
+	} else if ran {
+		r.stat.Runs++
 	}
 	r.mu.Unlock()
 	close(c.done)
@@ -260,10 +335,11 @@ func (r *Runner) MustResult(s Spec) gpu.Result {
 }
 
 // Runs reports how many distinct simulations have completed successfully.
+// Store hits do not count: they answer requests without simulating.
 func (r *Runner) Runs() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.runs
+	return r.stat.Runs
 }
 
 // StandardSchemes lists the four evaluation schemes in order.

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy reports that the service is saturated: every in-flight slot is
+// taken and the wait queue is full. Handlers translate it to HTTP 429.
+var errBusy = errors.New("serve: saturated")
+
+// limiter bounds the number of simulation-bearing requests executing at
+// once, with a bounded wait queue behind the in-flight slots. Requests
+// beyond slots+queue are rejected immediately (errBusy) rather than
+// piling up, which keeps latency under overload predictable.
+type limiter struct {
+	slots    chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+}
+
+func newLimiter(inflight, queue int) *limiter {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &limiter{slots: make(chan struct{}, inflight), maxQueue: int64(queue)}
+}
+
+// acquire takes an in-flight slot, waiting in the queue if necessary.
+// It returns errBusy when the queue is full and ctx.Err() when the caller
+// gives up while queued.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.waiting.Add(1) > l.maxQueue {
+		l.waiting.Add(-1)
+		return errBusy
+	}
+	defer l.waiting.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// inflight reports how many slots are currently held.
+func (l *limiter) inflight() int { return len(l.slots) }
+
+// queued reports how many requests are waiting for a slot.
+func (l *limiter) queued() int { return int(l.waiting.Load()) }

@@ -1,0 +1,369 @@
+// Package serve exposes the simulation harness as a long-running HTTP
+// service: a content-addressed result cache (internal/store) fronting the
+// memoizing, singleflighted bench.Runner. Repeat traffic for a simulation
+// that has already run — in this process or any earlier one sharing the
+// store directory — is answered without simulating, and conditional
+// requests (If-None-Match against the record's checksum ETag) transfer no
+// body at all.
+//
+// Endpoints:
+//
+//	POST /v1/simulate          one (workload, scheme) cell → record JSON
+//	POST /v1/sweep             grid → NDJSON records streamed as cells finish
+//	GET  /v1/results/{fp}      stored record by fingerprint (ETag/304)
+//	GET  /healthz              liveness
+//	GET  /metrics              text counters (hits, dedups, in-flight, queue)
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cachecraft/internal/bench"
+	"cachecraft/internal/config"
+	"cachecraft/internal/schemes"
+	"cachecraft/internal/store"
+	"cachecraft/internal/trace"
+	"cachecraft/internal/version"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Base is the GPU configuration every request simulates against.
+	Base config.GPU
+	// Runner executes and memoizes simulations. If nil, a fresh runner is
+	// built from Base; if Store is set it is wired beneath the runner.
+	Runner *bench.Runner
+	// Store is the durable result cache (optional). When present it also
+	// backs GET /v1/results and lets warm requests skip the limiter.
+	Store *store.Store
+	// MaxInFlight bounds simulation-bearing requests executing at once
+	// (default runtime.NumCPU()); MaxQueue bounds how many more may wait
+	// (0 = default 2×MaxInFlight, negative = no queue). Beyond both,
+	// requests get 429.
+	MaxInFlight int
+	MaxQueue    int
+}
+
+// Server is the HTTP layer. Create with New, mount via Handler.
+type Server struct {
+	base   config.GPU
+	runner *bench.Runner
+	st     *store.Store
+	lim    *limiter
+	mux    *http.ServeMux
+
+	httpRequests atomic.Int64 // all requests
+	httpRejected atomic.Int64 // 429s
+	httpNotMod   atomic.Int64 // 304s
+	httpStoreHit atomic.Int64 // responses served from stored bytes
+}
+
+// New builds a server. The runner's worker pool (bench.Runner.SetWorkers)
+// bounds concurrent simulations; Options.MaxInFlight bounds concurrent
+// requests, which is the backpressure surface clients see.
+func New(opt Options) *Server {
+	if opt.MaxInFlight <= 0 {
+		opt.MaxInFlight = runtime.NumCPU()
+	}
+	switch {
+	case opt.MaxQueue < 0:
+		opt.MaxQueue = 0
+	case opt.MaxQueue == 0:
+		opt.MaxQueue = 2 * opt.MaxInFlight
+	}
+	r := opt.Runner
+	if r == nil {
+		r = bench.NewRunner(opt.Base)
+	}
+	if opt.Store != nil {
+		r.SetStore(opt.Store)
+	}
+	s := &Server{
+		base:   opt.Base,
+		runner: r,
+		st:     opt.Store,
+		lim:    newLimiter(opt.MaxInFlight, opt.MaxQueue),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/results/{fingerprint}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.httpRequests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+}
+
+// SweepRequest is the body of POST /v1/sweep. Empty lists default to the
+// full set of workloads / schemes.
+type SweepRequest struct {
+	Workloads []string `json:"workloads"`
+	Schemes   []string `json:"schemes"`
+}
+
+// sweepError is the NDJSON line emitted for a cell that failed.
+type sweepError struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Error    string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func validName(name string, all []string) bool {
+	for _, n := range all {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func etagFor(sum string) string { return `"` + sum + `"` }
+
+// etagMatches implements If-None-Match against a strong ETag (weak
+// comparison: a W/ prefix on the client's tag is ignored).
+func etagMatches(r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, f := range strings.Split(inm, ",") {
+		f = strings.TrimPrefix(strings.TrimSpace(f), "W/")
+		if f == "*" || f == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeRecord sends a record body with its ETag, honouring If-None-Match.
+func (s *Server) writeRecord(w http.ResponseWriter, r *http.Request, body []byte, sum string) {
+	etag := etagFor(sum)
+	w.Header().Set("ETag", etag)
+	if etagMatches(r, etag) {
+		s.httpNotMod.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !validName(req.Workload, trace.Names()) {
+		httpError(w, http.StatusBadRequest, "unknown workload %q", req.Workload)
+		return
+	}
+	if !validName(req.Scheme, schemes.All()) {
+		httpError(w, http.StatusBadRequest, "unknown scheme %q", req.Scheme)
+		return
+	}
+	fp := store.Fingerprint(s.base, req.Workload, req.Scheme)
+
+	// Warm path: stored bytes answer the request (possibly with a 304)
+	// without touching the limiter or the runner.
+	if s.st != nil {
+		if body, sum, ok := s.st.GetRaw(fp); ok {
+			s.httpStoreHit.Add(1)
+			s.writeRecord(w, r, body, sum)
+			return
+		}
+	}
+
+	if err := s.lim.acquire(r.Context()); err != nil {
+		s.reject(w, err)
+		return
+	}
+	res, err := s.runner.ResultCtx(r.Context(), bench.Spec{CfgID: "base", Workload: req.Workload, Variant: req.Scheme})
+	s.lim.release()
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing useful to write
+		}
+		httpError(w, http.StatusInternalServerError, "simulate: %v", err)
+		return
+	}
+	// Prefer the persisted bytes (identical content, and proves the store
+	// round-trip); fall back to encoding in-process.
+	if s.st != nil {
+		if body, sum, ok := s.st.GetRaw(fp); ok {
+			s.writeRecord(w, r, body, sum)
+			return
+		}
+	}
+	body, sum, err := store.EncodeRecord(store.Record{
+		Fingerprint: fp,
+		Sim:         version.String(),
+		Workload:    req.Workload,
+		Scheme:      req.Scheme,
+		Result:      res,
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	s.writeRecord(w, r, body, sum)
+}
+
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBusy) {
+		s.httpRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "saturated: %d in flight, %d queued", s.lim.inflight(), s.lim.queued())
+	}
+	// Context cancellation: the client is gone, write nothing.
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Workloads) == 0 {
+		req.Workloads = trace.Names()
+	}
+	if len(req.Schemes) == 0 {
+		req.Schemes = schemes.All()
+	}
+	for _, wl := range req.Workloads {
+		if !validName(wl, trace.Names()) {
+			httpError(w, http.StatusBadRequest, "unknown workload %q", wl)
+			return
+		}
+	}
+	for _, sc := range req.Schemes {
+		if !validName(sc, schemes.All()) {
+			httpError(w, http.StatusBadRequest, "unknown scheme %q", sc)
+			return
+		}
+	}
+	if err := s.lim.acquire(r.Context()); err != nil {
+		s.reject(w, err)
+		return
+	}
+	defer s.lim.release()
+
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	// Fan the grid out through the runner (which bounds simulation
+	// concurrency and dedups against concurrent requests) and stream each
+	// cell's record the moment it completes. Producers never block on a
+	// departed consumer: every send selects against ctx.
+	lines := make(chan []byte)
+	var wg sync.WaitGroup
+	for _, wl := range req.Workloads {
+		for _, sc := range req.Schemes {
+			wg.Add(1)
+			go func(wl, sc string) {
+				defer wg.Done()
+				var line []byte
+				res, err := s.runner.ResultCtx(ctx, bench.Spec{CfgID: "base", Workload: wl, Variant: sc})
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					line, _ = json.Marshal(sweepError{Workload: wl, Scheme: sc, Error: err.Error()})
+				} else {
+					line, _, err = store.EncodeRecord(store.Record{
+						Fingerprint: store.Fingerprint(s.base, wl, sc),
+						Sim:         version.String(),
+						Workload:    wl,
+						Scheme:      sc,
+						Result:      res,
+					})
+					if err != nil {
+						line, _ = json.Marshal(sweepError{Workload: wl, Scheme: sc, Error: err.Error()})
+					}
+				}
+				select {
+				case lines <- line:
+				case <-ctx.Done():
+				}
+			}(wl, sc)
+		}
+	}
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+	for line := range lines {
+		if ctx.Err() != nil {
+			break // client cancelled mid-stream; producers drain via ctx
+		}
+		w.Write(line)
+		w.Write([]byte("\n"))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, "no store configured")
+		return
+	}
+	fp := r.PathValue("fingerprint")
+	body, sum, ok := s.st.GetRaw(fp)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for fingerprint %q", fp)
+		return
+	}
+	s.httpStoreHit.Add(1)
+	s.writeRecord(w, r, body, sum)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok %s\n", version.String())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.runner.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "cachecraft_sim_runs_total %d\n", st.Runs)
+	fmt.Fprintf(w, "cachecraft_memo_hits_total %d\n", st.MemoHits)
+	fmt.Fprintf(w, "cachecraft_singleflight_dedups_total %d\n", st.Dedups)
+	fmt.Fprintf(w, "cachecraft_store_hits_total %d\n", st.StoreHits+int(s.httpStoreHit.Load()))
+	fmt.Fprintf(w, "cachecraft_store_misses_total %d\n", st.StoreMisses)
+	fmt.Fprintf(w, "cachecraft_store_put_errors_total %d\n", st.StoreErrors)
+	fmt.Fprintf(w, "cachecraft_inflight_sims %d\n", s.lim.inflight())
+	fmt.Fprintf(w, "cachecraft_queue_depth %d\n", s.lim.queued())
+	fmt.Fprintf(w, "cachecraft_http_requests_total %d\n", s.httpRequests.Load())
+	fmt.Fprintf(w, "cachecraft_http_rejected_total %d\n", s.httpRejected.Load())
+	fmt.Fprintf(w, "cachecraft_http_not_modified_total %d\n", s.httpNotMod.Load())
+}

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/store"
+)
+
+func quickBase() config.GPU {
+	cfg := config.Quick()
+	cfg.AccessesPerSM = 300
+	return cfg
+}
+
+func newTestServer(t *testing.T, st *store.Store, maxInFlight, maxQueue int) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Options{Base: quickBase(), Store: st, MaxInFlight: maxInFlight, MaxQueue: maxQueue})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestSimulateETagAnd304 is the end-to-end warm path: a first POST
+// simulates and returns a record with an ETag; a repeat POST with
+// If-None-Match answers 304 from the store; GET /v1/results serves the
+// same record by fingerprint.
+func TestSimulateETagAnd304(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, st, 4, 4)
+	body := `{"workload":"stream","scheme":"none"}`
+
+	resp := postJSON(t, ts.URL+"/v1/simulate", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold simulate: status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on simulate response")
+	}
+	var rec store.Record
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("bad record body: %v\n%s", err, raw)
+	}
+	wantFP := store.Fingerprint(quickBase(), "stream", "none")
+	if rec.Fingerprint != wantFP {
+		t.Fatalf("fingerprint = %s, want %s", rec.Fingerprint, wantFP)
+	}
+	if rec.Result.Cycles == 0 || rec.Result.IPC == 0 {
+		t.Fatalf("empty result in record: %+v", rec.Result)
+	}
+
+	// Conditional repeat: 304, no body, same ETag; served from the store.
+	resp = postJSON(t, ts.URL+"/v1/simulate", body, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional simulate: status %d, want 304", resp.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp.Body); len(b) != 0 {
+		t.Fatalf("304 carried a body: %q", b)
+	}
+	resp.Body.Close()
+
+	// Unconditional repeat: identical bytes (stored encoding is canonical).
+	resp = postJSON(t, ts.URL+"/v1/simulate", body, nil)
+	raw2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(raw, raw2) {
+		t.Fatalf("warm body differs from cold (status %d)", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Fatalf("ETag drifted: %s vs %s", resp.Header.Get("ETag"), etag)
+	}
+
+	// Content-addressed GET, plus its 304 path.
+	resp, err = http.Get(ts.URL + "/v1/results/" + wantFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw3, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(raw, raw3) {
+		t.Fatalf("GET /v1/results differs (status %d)", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/results/"+wantFP, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET: status %d, want 304", resp.StatusCode)
+	}
+
+	// The whole warm sequence must have run exactly one simulation.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "cachecraft_sim_runs_total 1\n") {
+		t.Fatalf("metrics report more than one simulation:\n%s", metrics)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil, 2, 2)
+	for _, body := range []string{
+		`{"workload":"nope","scheme":"none"}`,
+		`{"workload":"stream","scheme":"nope"}`,
+		`not json`,
+	} {
+		resp := postJSON(t, ts.URL+"/v1/simulate", body, nil)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweep", `{"workloads":["nope"]}`, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sweep with unknown workload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestResultsUnknownFingerprint(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, st, 2, 2)
+	resp, err := http.Get(ts.URL + "/v1/results/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBackpressure429: with one in-flight slot held and no queue,
+// simulation-bearing requests are rejected immediately with 429.
+func TestBackpressure429(t *testing.T) {
+	srv, ts := newTestServer(t, nil, 1, -1) // one slot, no queue
+	if err := srv.lim.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.lim.release()
+
+	resp := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stream","scheme":"none"}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+		t.Fatalf("429 body not an error document: %v %v", e, err)
+	}
+
+	// Health and metrics must stay reachable while saturated.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under saturation: %d", hr.StatusCode)
+	}
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(metrics), "cachecraft_http_rejected_total 1\n") {
+		t.Fatalf("rejection not counted:\n%s", metrics)
+	}
+	if !strings.Contains(string(metrics), "cachecraft_inflight_sims 1\n") {
+		t.Fatalf("held slot not visible:\n%s", metrics)
+	}
+}
+
+// TestSweepStreamsNDJSON: a sweep streams one NDJSON record per cell and
+// every cell of the grid appears exactly once.
+func TestSweepStreamsNDJSON(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, st, 4, 4)
+	resp := postJSON(t, ts.URL+"/v1/sweep", `{"workloads":["stream","scan"],"schemes":["none","ecc-cache"]}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec store.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		key := rec.Workload + "/" + rec.Scheme
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("cells = %v, want 4", seen)
+	}
+}
+
+// TestSweepClientCancellationMidStream: a client that disconnects after
+// the first record must not wedge the server — the handler unwinds, the
+// limiter slot frees, and the next request succeeds.
+func TestSweepClientCancellationMidStream(t *testing.T) {
+	srv, ts := newTestServer(t, nil, 1, -1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweep",
+		strings.NewReader(`{"workloads":["stream","scan","bfs","histogram"],"schemes":["none"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadBytes('\n'); err != nil {
+		t.Fatalf("first streamed record: %v", err)
+	}
+	cancel() // hang up mid-stream
+	resp.Body.Close()
+
+	// The single in-flight slot must come back; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.lim.inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("limiter slot never freed after client cancellation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp2 := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stream","scheme":"none"}`, nil)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("request after cancellation: status %d", resp2.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, nil, 2, 2)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok ") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}

@@ -1,42 +1,66 @@
 package stats
 
 import (
+	"bytes"
 	"encoding/json"
-	"sort"
+	"fmt"
 )
 
-// MarshalJSON renders the counters as a JSON object with sorted keys, so
-// simulation results can be exported to external tooling.
+// MarshalJSON renders the counters as a JSON object whose keys appear in
+// creation order, so exporting and re-importing a counter set (e.g.
+// through the persistent result store) preserves the order every renderer
+// relies on.
 func (c *Counters) MarshalJSON() ([]byte, error) {
-	// Sorted copy for stable output.
-	keys := make([]string, 0, len(c.values))
-	for k := range c.values {
-		keys = append(keys, k)
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, k := range c.order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(key)
+		b.WriteByte(':')
+		fmt.Fprintf(&b, "%d", c.values[k])
 	}
-	sort.Strings(keys)
-	ordered := make(map[string]uint64, len(keys))
-	for _, k := range keys {
-		ordered[k] = c.values[k]
-	}
-	return json.Marshal(ordered)
+	b.WriteByte('}')
+	return b.Bytes(), nil
 }
 
-// UnmarshalJSON restores counters from their JSON object form. Creation
-// order becomes key-sorted order.
+// UnmarshalJSON restores counters from their JSON object form, preserving
+// the order in which keys appear in the document (which MarshalJSON made
+// the creation order). A duplicate key keeps its first position and takes
+// the last value, matching encoding/json's map behaviour.
 func (c *Counters) UnmarshalJSON(data []byte) error {
-	var m map[string]uint64
-	if err := json.Unmarshal(data, &m); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
 		return err
 	}
-	c.values = make(map[string]uint64, len(m))
-	c.order = c.order[:0]
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+	if tok != json.Delim('{') {
+		return fmt.Errorf("stats: counters must be a JSON object, got %v", tok)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		c.Set(k, m[k])
+	c.values = make(map[string]uint64)
+	c.order = c.order[:0]
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return fmt.Errorf("stats: non-string counter key %v", tok)
+		}
+		var v uint64
+		if err := dec.Decode(&v); err != nil {
+			return err
+		}
+		c.Set(key, v)
+	}
+	if _, err := dec.Token(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -13,8 +13,8 @@ func TestCountersJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(data) != `{"alpha":1,"zeta":3}` {
-		t.Fatalf("json = %s", data)
+	if string(data) != `{"zeta":3,"alpha":1}` {
+		t.Fatalf("json = %s, want creation order preserved", data)
 	}
 	back := NewCounters()
 	if err := json.Unmarshal(data, back); err != nil {
@@ -24,8 +24,37 @@ func TestCountersJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost values: %s", back)
 	}
 	names := back.Names()
-	if len(names) != 2 || names[0] != "alpha" {
-		t.Fatalf("restored order: %v", names)
+	if len(names) != 2 || names[0] != "zeta" || names[1] != "alpha" {
+		t.Fatalf("round trip reordered counters: %v", names)
+	}
+}
+
+// TestCountersJSONOrderSurvivesDoubleRoundTrip guards the property the
+// persistent store depends on: marshal → unmarshal → marshal must be
+// byte-identical, so renderers see the same counter order on a store hit
+// as on a fresh simulation.
+func TestCountersJSONOrderSurvivesDoubleRoundTrip(t *testing.T) {
+	c := NewCounters()
+	for _, name := range []string{"writes", "reads", "evictions", "appends", "misses"} {
+		c.Add(name, uint64(len(name)))
+	}
+	first, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewCounters()
+	if err := json.Unmarshal(first, back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("double round trip changed encoding:\n first: %s\nsecond: %s", first, second)
+	}
+	if back.String() != c.String() {
+		t.Fatalf("rendering differs after round trip:\nwant %q\n got %q", c.String(), back.String())
 	}
 }
 
@@ -33,5 +62,26 @@ func TestCountersJSONRejectsGarbage(t *testing.T) {
 	c := NewCounters()
 	if err := json.Unmarshal([]byte(`[1,2]`), c); err == nil {
 		t.Fatal("array accepted as counters")
+	}
+	if err := json.Unmarshal([]byte(`{"a":"x"}`), c); err == nil {
+		t.Fatal("string value accepted as counter")
+	}
+	if err := json.Unmarshal([]byte(`{"a":-1}`), c); err == nil {
+		t.Fatal("negative value accepted as counter")
+	}
+}
+
+func TestCountersJSONIntoZeroValue(t *testing.T) {
+	// The decoder may hand UnmarshalJSON a zero-value Counters (no
+	// NewCounters); it must still work.
+	var c Counters
+	if err := json.Unmarshal([]byte(`{"b":2,"a":1}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get("b") != 2 || c.Get("a") != 1 {
+		t.Fatalf("values lost: %s", &c)
+	}
+	if names := c.Names(); len(names) != 2 || names[0] != "b" {
+		t.Fatalf("order lost: %v", names)
 	}
 }

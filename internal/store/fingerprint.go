@@ -1,0 +1,41 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/version"
+)
+
+// Fingerprint computes the canonical content address of one simulation:
+// the SHA-256 of the canonical JSON encoding of (simulator identity, full
+// GPU configuration, workload name, scheme name). Two processes — or two
+// runs of the same process — that would execute an identical simulation
+// therefore agree on the fingerprint, and any difference anywhere in the
+// configuration, in the workload or scheme, or in the simulator revision
+// yields a different address. docs/MODEL.md documents the
+// canonicalization rules.
+func Fingerprint(cfg config.GPU, workload, scheme string) string {
+	return fingerprint(version.String(), cfg, workload, scheme)
+}
+
+// fingerprint is Fingerprint with the simulator identity explicit, so the
+// version-sensitivity of the address is testable.
+func fingerprint(simID string, cfg config.GPU, workload, scheme string) string {
+	payload := struct {
+		Sim      string     `json:"sim"`
+		Config   config.GPU `json:"config"`
+		Workload string     `json:"workload"`
+		Scheme   string     `json:"scheme"`
+	}{simID, cfg, workload, scheme}
+	// config.GPU is a tree of exported scalar fields, so struct-field
+	// declaration order makes this encoding canonical and infallible.
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic("store: fingerprint payload not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,51 @@
+package store
+
+import (
+	"regexp"
+	"testing"
+
+	"cachecraft/internal/config"
+)
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Fingerprint(config.Default(), "stream", "cachecraft")
+	b := Fingerprint(config.Default(), "stream", "cachecraft")
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(a) {
+		t.Fatalf("fingerprint not hex sha256: %q", a)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(config.Default(), "stream", "cachecraft")
+	if Fingerprint(config.Default(), "scan", "cachecraft") == base {
+		t.Fatal("workload change did not change fingerprint")
+	}
+	if Fingerprint(config.Default(), "stream", "none") == base {
+		t.Fatal("scheme change did not change fingerprint")
+	}
+	cfg := config.Default()
+	cfg.Seed++
+	if Fingerprint(cfg, "stream", "cachecraft") == base {
+		t.Fatal("config change did not change fingerprint")
+	}
+	cfg = config.Default()
+	cfg.L2.SizeBytes *= 2
+	if Fingerprint(cfg, "stream", "cachecraft") == base {
+		t.Fatal("nested config change did not change fingerprint")
+	}
+}
+
+// TestFingerprintIncludesSimulatorIdentity: bumping the simulator
+// revision must re-address every record, so results from older simulator
+// logic can never be served as hits.
+func TestFingerprintIncludesSimulatorIdentity(t *testing.T) {
+	cfg := config.Default()
+	now := fingerprint("cachecraft@r3", cfg, "stream", "cachecraft")
+	old := fingerprint("cachecraft@r2", cfg, "stream", "cachecraft")
+	if now == old {
+		t.Fatal("simulator revision not part of the fingerprint")
+	}
+}

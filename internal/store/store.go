@@ -1,0 +1,186 @@
+// Package store is a content-addressed, on-disk cache of simulation
+// results. Records are keyed by the canonical fingerprint of (simulator
+// identity, GPU configuration, workload, scheme) — see Fingerprint — and
+// written atomically (tempfile + rename in the same directory), so any
+// number of processes may read and write one store directory
+// concurrently. Every record carries a SHA-256 checksum of its body;
+// corruption of any kind (truncation, bit flips, foreign files) is
+// treated as a cache miss, never an error, because the simulator can
+// always regenerate the record.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/gpu"
+	"cachecraft/internal/version"
+)
+
+// Record is one stored simulation result plus the identity that produced
+// it. Its JSON encoding is canonical: encoding a decoded record
+// reproduces the stored bytes (stats.Counters marshal in insertion
+// order), which is what makes checksum-derived ETags stable across
+// cold and warm servings.
+type Record struct {
+	Fingerprint string     `json:"fingerprint"`
+	Sim         string     `json:"sim"` // version.String() at write time
+	Workload    string     `json:"workload"`
+	Scheme      string     `json:"scheme"`
+	Result      gpu.Result `json:"result"`
+}
+
+// envelope is the on-disk framing: the record body plus its checksum.
+type envelope struct {
+	Sum  string          `json:"sum"` // hex SHA-256 of Body
+	Body json.RawMessage `json:"body"`
+}
+
+// Store is a handle on one store directory. The zero value is not usable;
+// call Open. A Store holds no state beyond the path, so handles are safe
+// for concurrent use and cheap to recreate.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path shards records by the first fingerprint byte to keep directories
+// small under large sweeps.
+func (s *Store) path(fp string) string {
+	shard := "xx"
+	if len(fp) >= 2 {
+		shard = fp[:2]
+	}
+	return filepath.Join(s.dir, shard, fp+".json")
+}
+
+// EncodeRecord marshals a record to its canonical body bytes and returns
+// the body plus its hex SHA-256 checksum (the basis of HTTP ETags).
+func EncodeRecord(rec Record) (body []byte, sum string, err error) {
+	body, err = json.Marshal(rec)
+	if err != nil {
+		return nil, "", fmt.Errorf("store: encode %s: %w", rec.Fingerprint, err)
+	}
+	h := sha256.Sum256(body)
+	return body, hex.EncodeToString(h[:]), nil
+}
+
+// Put writes the record under its own fingerprint, atomically: the bytes
+// are staged in a tempfile in the destination directory and renamed into
+// place, so readers never observe a partial record and concurrent writers
+// of the same fingerprint harmlessly race to install identical content.
+func (s *Store) Put(rec Record) error {
+	if rec.Fingerprint == "" {
+		return fmt.Errorf("store: record has no fingerprint")
+	}
+	body, sum, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(envelope{Sum: sum, Body: body})
+	if err != nil {
+		return fmt.Errorf("store: envelope %s: %w", rec.Fingerprint, err)
+	}
+	dst := s.path(rec.Fingerprint)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), dst)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", rec.Fingerprint, werr)
+	}
+	return nil
+}
+
+// get loads, checksums, and decodes the record for fp. Any failure —
+// missing file, bad framing, checksum mismatch, a record that does not
+// belong at this address, or one from a different simulator revision —
+// is a miss.
+func (s *Store) get(fp string) (Record, []byte, string, bool) {
+	data, err := os.ReadFile(s.path(fp))
+	if err != nil {
+		return Record{}, nil, "", false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Record{}, nil, "", false
+	}
+	h := sha256.Sum256(env.Body)
+	if hex.EncodeToString(h[:]) != env.Sum {
+		return Record{}, nil, "", false
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Body, &rec); err != nil {
+		return Record{}, nil, "", false
+	}
+	if rec.Fingerprint != fp || rec.Sim != version.String() {
+		return Record{}, nil, "", false
+	}
+	return rec, env.Body, env.Sum, true
+}
+
+// Get returns the record stored under fp, or ok=false on a miss
+// (including any form of corruption).
+func (s *Store) Get(fp string) (Record, bool) {
+	rec, _, _, ok := s.get(fp)
+	return rec, ok
+}
+
+// GetRaw returns the verified record body bytes and their checksum for
+// fp. The bytes are exactly what Put wrote, so serving them preserves
+// byte-identity (and ETag identity) with the original encoding.
+func (s *Store) GetRaw(fp string) (body []byte, sum string, ok bool) {
+	_, body, sum, ok = s.get(fp)
+	return body, sum, ok
+}
+
+// Lookup implements the bench.ResultStore read side: it addresses the
+// store by the simulation's canonical fingerprint.
+func (s *Store) Lookup(cfg config.GPU, workload, scheme string) (gpu.Result, bool) {
+	rec, ok := s.Get(Fingerprint(cfg, workload, scheme))
+	if !ok {
+		return gpu.Result{}, false
+	}
+	return rec.Result, true
+}
+
+// Save implements the bench.ResultStore write side.
+func (s *Store) Save(cfg config.GPU, workload, scheme string, res gpu.Result) error {
+	return s.Put(Record{
+		Fingerprint: Fingerprint(cfg, workload, scheme),
+		Sim:         version.String(),
+		Workload:    workload,
+		Scheme:      scheme,
+		Result:      res,
+	})
+}

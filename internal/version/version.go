@@ -1,0 +1,19 @@
+// Package version pins the identity of the simulator for artifacts that
+// outlive a process, most importantly the persistent result store: a
+// stored result is only reusable if it was produced by the same module at
+// the same simulation-semantics revision.
+package version
+
+// Module is the module identity baked into persistent-store fingerprints.
+const Module = "cachecraft"
+
+// SimRevision names the current revision of the simulation semantics.
+// Bump it in any change that alters simulation results (timing model,
+// workload generation, protection schemes, ...); doing so changes every
+// store fingerprint, so stale results from older simulator logic can
+// never be served as hits. Pure refactors and harness changes do not
+// require a bump.
+const SimRevision = "r3"
+
+// String returns the combined identity, e.g. "cachecraft@r3".
+func String() string { return Module + "@" + SimRevision }
