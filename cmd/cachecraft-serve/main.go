@@ -8,13 +8,16 @@
 //
 //	cachecraft-serve -addr :8344 -store /var/tmp/cachecraft
 //	cachecraft-serve -quick -j 4 -max-inflight 8
+//	cachecraft-serve -quick -debug-addr 127.0.0.1:6060   # pprof side listener
 //
 // Endpoints: POST /v1/simulate, POST /v1/sweep (NDJSON stream),
 // GET /v1/results/{fingerprint} (ETag/If-None-Match), GET /healthz,
 // GET /metrics. Saturation (beyond -max-inflight running plus -queue
-// waiting) returns 429. SIGINT/SIGTERM drains gracefully: the listener
-// closes, in-flight requests finish (up to -drain), then the process
-// exits.
+// waiting) returns 429. Each response carries an X-Request-Id (echoed if
+// the client sent one) that also appears in the structured access log on
+// stderr. SIGINT/SIGTERM drains gracefully: the listener closes, in-flight
+// requests finish (up to -drain), then the process exits after logging a
+// final summary taken from the same metrics registry /metrics serves.
 package main
 
 import (
@@ -22,7 +25,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -38,13 +43,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8344", "listen address")
-		storeDir = flag.String("store", "", "persistent result store directory (empty = in-memory only)")
-		quick    = flag.Bool("quick", false, "use the scaled-down configuration (fast, not meaningful)")
-		jobs     = flag.Int("j", runtime.NumCPU(), "max simulations running concurrently")
-		inflight = flag.Int("max-inflight", runtime.NumCPU(), "max simulation-bearing requests in flight before queueing")
-		queue    = flag.Int("queue", 0, "max queued requests beyond -max-inflight before 429 (0 = 2x max-inflight)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period")
+		addr      = flag.String("addr", ":8344", "listen address")
+		storeDir  = flag.String("store", "", "persistent result store directory (empty = in-memory only)")
+		quick     = flag.Bool("quick", false, "use the scaled-down configuration (fast, not meaningful)")
+		jobs      = flag.Int("j", runtime.NumCPU(), "max simulations running concurrently")
+		inflight  = flag.Int("max-inflight", runtime.NumCPU(), "max simulation-bearing requests in flight before queueing")
+		queue     = flag.Int("queue", 0, "max queued requests beyond -max-inflight before 429 (0 = 2x max-inflight)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty = off)")
+		quiet     = flag.Bool("quiet", false, "suppress per-request access logs")
 	)
 	flag.Parse()
 	log.SetPrefix("cachecraft-serve: ")
@@ -66,14 +73,38 @@ func main() {
 		log.Printf("result store at %s", st.Dir())
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var accessLog *slog.Logger
+	if !*quiet {
+		accessLog = logger
+	}
 	srv := serve.New(serve.Options{
 		Base:        base,
 		Runner:      r,
 		Store:       st,
 		MaxInFlight: *inflight,
 		MaxQueue:    *queue,
+		Logger:      accessLog,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		// A dedicated mux so pprof never rides the public listener: the
+		// main handler counts and rate-limits paper traffic, the debug
+		// listener stays bindable to loopback only.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,7 +123,12 @@ func main() {
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	stats := r.Stats()
-	log.Printf("drained; runs=%d memo-hits=%d dedups=%d store-hits=%d store-misses=%d",
-		stats.Runs, stats.MemoHits, stats.Dedups, stats.StoreHits, stats.StoreMisses)
+	// The shutdown summary is a snapshot of the same registry /metrics
+	// renders, so the two can never disagree about what this process did.
+	snap := srv.Registry().Snapshot()
+	attrs := make([]slog.Attr, 0, 8)
+	for _, name := range snap.Names() {
+		attrs = append(attrs, slog.Uint64(name, snap.Get(name)))
+	}
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "drained", attrs...)
 }

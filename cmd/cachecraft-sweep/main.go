@@ -11,15 +11,19 @@
 //	cachecraft-sweep -run fig4 -quick    # scaled-down smoke version
 //	cachecraft-sweep -run all -j 8       # at most 8 concurrent simulations
 //	cachecraft-sweep -run all -store DIR # persist results; warm re-runs simulate nothing
+//	cachecraft-sweep -run all -progress  # live cell counts + ETA on stderr
+//	cachecraft-sweep -run fig4 -trace-out spans.ndjson
 //
 // Simulations fan out across a bounded worker pool (-j, default
 // runtime.NumCPU()). Workload generation is deterministic per (seed, SM),
 // so stdout is byte-identical for every -j value — and, with -store, for
-// warm re-runs that simulate nothing at all; per-experiment wall times
-// and runner statistics go to stderr.
+// warm re-runs that simulate nothing at all; per-experiment wall times,
+// runner statistics, and -progress lines go to stderr, and -trace-out
+// spans go to the named file, so none of them disturb that guarantee.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +33,7 @@ import (
 
 	"cachecraft/internal/bench"
 	"cachecraft/internal/config"
+	"cachecraft/internal/obs"
 	"cachecraft/internal/stats"
 	"cachecraft/internal/store"
 )
@@ -41,6 +46,8 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit tables as CSV (for plotting)")
 		jobs     = flag.Int("j", runtime.NumCPU(), "max simulations running concurrently")
 		storeDir = flag.String("store", "", "persistent result store directory (empty = none)")
+		progress = flag.Bool("progress", false, "report live cell progress and ETA on stderr")
+		traceOut = flag.String("trace-out", "", "write per-cell NDJSON trace spans to this file")
 	)
 	flag.Parse()
 
@@ -58,13 +65,48 @@ func main() {
 	}
 	r := bench.NewRunner(base)
 	r.SetWorkers(*jobs)
+
+	// cleanup runs before every exit so trace output is never truncated.
+	var cleanup []func()
+	exit := func(code int) {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+		os.Exit(code)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cachecraft-sweep: "+format+"\n", args...)
+		exit(1)
+	}
+
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cachecraft-sweep:", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		r.SetStore(st)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("%v", err)
+		}
+		bw := bufio.NewWriter(f)
+		r.SetTracer(obs.NewTracer(obs.NewNDJSONExporter(bw)))
+		cleanup = append(cleanup, func() {
+			if err := bw.Flush(); err == nil {
+				err = f.Close()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "cachecraft-sweep: trace-out: %v\n", err)
+				}
+			} else {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "cachecraft-sweep: trace-out: %v\n", err)
+			}
+		})
+	}
+	if *progress {
+		cleanup = append(cleanup, startProgress(r))
 	}
 
 	var out io.Writer = os.Stdout
@@ -76,8 +118,7 @@ func main() {
 		before := r.Stats()
 		fmt.Printf("\n### %s — %s\n\n", e.ID, e.Title)
 		if err := e.Run(r, base, out); err != nil {
-			fmt.Fprintf(os.Stderr, "cachecraft-sweep: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			fail("%s: %v", e.ID, err)
 		}
 		// Deterministic accounting on stdout, wall time and runner stats
 		// on stderr: stdout stays byte-identical across -j values and
@@ -100,12 +141,53 @@ func main() {
 		for _, e := range bench.All() {
 			run(e)
 		}
-		return
+		exit(0)
 	}
 	e, err := bench.ByID(*runID)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cachecraft-sweep:", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	run(e)
+	exit(0)
+}
+
+// startProgress reports live cell progress on stderr once a second:
+// cells finished vs started, where results are coming from, and an ETA
+// extrapolated from the average time per finished cell. It returns a stop
+// function that halts the reporter and prints one final line.
+func startProgress(r *bench.Runner) (stop func()) {
+	start := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	line := func() string {
+		s := r.Stats()
+		elapsed := time.Since(start)
+		out := fmt.Sprintf("[progress] cells %d/%d (sims %d, store hits %d, memo %d) elapsed %s",
+			s.Finished, s.Started, s.Runs, s.StoreHits, s.MemoHits,
+			elapsed.Round(time.Second))
+		if s.Finished > 0 && s.Started > s.Finished {
+			per := elapsed / time.Duration(s.Finished)
+			eta := per * time.Duration(s.Started-s.Finished)
+			out += fmt.Sprintf(" eta ~%s", eta.Round(time.Second))
+		}
+		return out
+	}
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprintln(os.Stderr, line())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		fmt.Fprintln(os.Stderr, line())
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"cachecraft/internal/config"
 	"cachecraft/internal/core"
 	"cachecraft/internal/gpu"
+	"cachecraft/internal/obs"
 	"cachecraft/internal/protect"
 	"cachecraft/internal/schemes"
 )
@@ -60,6 +61,8 @@ type Stats struct {
 	StoreHits   int // requests answered from the persistent store
 	StoreMisses int // persistent-store lookups that missed
 	StoreErrors int // failed persist attempts (results still returned)
+	Started     int // ResultCtx calls begun (cells requested)
+	Finished    int // ResultCtx calls returned, any outcome
 }
 
 // Runner executes simulations on demand, memoizes results, and bounds
@@ -76,6 +79,7 @@ type Runner struct {
 	configs map[string]config.GPU
 	facts   map[string]protect.Factory
 	store   ResultStore   // optional durable tier (nil = disabled)
+	tracer  *obs.Tracer   // optional span tracing (nil = off, zero cost)
 	stat    Stats         // counters; stat.Runs mirrors Runs()
 	slots   chan struct{} // bounded worker slots
 }
@@ -126,6 +130,16 @@ func (r *Runner) SetStore(s ResultStore) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.store = s
+}
+
+// SetTracer attaches span tracing to the runner (nil detaches it). Each
+// simulation that actually executes emits a "cell" span with store-lookup,
+// queue-wait, simulate, and persist children; memo hits and singleflight
+// waiters emit nothing. With no tracer the hot path pays only nil checks.
+func (r *Runner) SetTracer(t *obs.Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = t
 }
 
 // Stats returns a snapshot of the runner's accounting: executed
@@ -179,6 +193,14 @@ func (r *Runner) Result(s Spec) (gpu.Result, error) {
 // Spec. A simulation that has already started is never interrupted: its
 // result stays useful for the memo even if this caller gives up.
 func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
+	r.mu.Lock()
+	r.stat.Started++
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.stat.Finished++
+		r.mu.Unlock()
+	}()
 	for {
 		r.mu.Lock()
 		if c, ok := r.memo[s]; ok {
@@ -213,49 +235,90 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 		r.memo[s] = c
 		st := r.store
 		slots := r.slots
+		tr := r.tracer
 		r.mu.Unlock()
+		return r.lead(ctx, s, c, cfg, f, st, slots, tr)
+	}
+}
 
-		// Durable tier: a store hit satisfies the call (and everyone
-		// singleflighted onto it) without consuming a worker slot.
-		if st != nil {
-			if res, ok := st.Lookup(cfg, s.Workload, s.Variant); ok {
-				r.mu.Lock()
-				r.stat.StoreHits++
-				r.mu.Unlock()
-				r.finish(s, c, res, nil, false)
-				return res, nil
-			}
+// lead is the singleflight leader's path: consult the store, wait for a
+// worker slot, simulate, persist. When a tracer is attached it wraps the
+// whole cell in a span with one child per phase, so a trace shows exactly
+// where a cell's wall time went.
+func (r *Runner) lead(ctx context.Context, s Spec, c *call, cfg config.GPU,
+	f protect.Factory, st ResultStore, slots chan struct{}, tr *obs.Tracer) (gpu.Result, error) {
+	ctx, cell := tr.Start(ctx, "cell",
+		obs.String("config", s.CfgID),
+		obs.String("workload", s.Workload),
+		obs.String("scheme", s.Variant))
+	defer cell.End()
+
+	// Durable tier: a store hit satisfies the call (and everyone
+	// singleflighted onto it) without consuming a worker slot.
+	if st != nil {
+		_, lk := tr.Start(ctx, "store-lookup")
+		res, ok := st.Lookup(cfg, s.Workload, s.Variant)
+		lk.SetAttr(obs.Bool("hit", ok))
+		lk.End()
+		if ok {
 			r.mu.Lock()
-			r.stat.StoreMisses++
+			r.stat.StoreHits++
+			r.mu.Unlock()
+			cell.SetAttr(obs.String("outcome", "store-hit"))
+			r.finish(s, c, res, nil, false)
+			return res, nil
+		}
+		r.mu.Lock()
+		r.stat.StoreMisses++
+		r.mu.Unlock()
+	}
+
+	// Check cancellation before racing for a slot: with both a free
+	// slot and a done context ready, select would choose arbitrarily.
+	if err := ctx.Err(); err != nil {
+		cell.SetAttr(obs.String("outcome", "abandoned"))
+		r.finish(s, c, gpu.Result{}, errAbandoned, false)
+		return gpu.Result{}, err
+	}
+	_, qw := tr.Start(ctx, "queue-wait")
+	select {
+	case slots <- struct{}{}:
+		qw.End()
+	case <-ctx.Done():
+		qw.SetAttr(obs.Bool("cancelled", true))
+		qw.End()
+		cell.SetAttr(obs.String("outcome", "abandoned"))
+		r.finish(s, c, gpu.Result{}, errAbandoned, false)
+		return gpu.Result{}, ctx.Err()
+	}
+	simCtx, sim := tr.Start(ctx, "simulate")
+	res, err := simulate(simCtx, cfg, f, s, tr)
+	sim.SetAttr(obs.Bool("ok", err == nil))
+	sim.End()
+	<-slots
+	if err == nil && st != nil {
+		// Persist best-effort: a full disk must not fail the caller,
+		// but it is counted so operators can see the store is dark.
+		_, ps := tr.Start(ctx, "persist")
+		perr := st.Save(cfg, s.Workload, s.Variant, res)
+		ps.SetAttr(obs.Bool("ok", perr == nil))
+		ps.End()
+		if perr != nil {
+			r.mu.Lock()
+			r.stat.StoreErrors++
 			r.mu.Unlock()
 		}
-
-		// Check cancellation before racing for a slot: with both a free
-		// slot and a done context ready, select would choose arbitrarily.
-		if err := ctx.Err(); err != nil {
-			r.finish(s, c, gpu.Result{}, errAbandoned, false)
-			return gpu.Result{}, err
-		}
-		select {
-		case slots <- struct{}{}:
-		case <-ctx.Done():
-			r.finish(s, c, gpu.Result{}, errAbandoned, false)
-			return gpu.Result{}, ctx.Err()
-		}
-		res, err := simulate(cfg, f, s)
-		<-slots
-		if err == nil && st != nil {
-			// Persist best-effort: a full disk must not fail the caller,
-			// but it is counted so operators can see the store is dark.
-			if perr := st.Save(cfg, s.Workload, s.Variant, res); perr != nil {
-				r.mu.Lock()
-				r.stat.StoreErrors++
-				r.mu.Unlock()
-			}
-		}
-		r.finish(s, c, res, err, true)
-		return res, err
 	}
+	cell.SetAttr(obs.String("outcome", outcomeOf(err)))
+	r.finish(s, c, res, err, true)
+	return res, err
+}
+
+func outcomeOf(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "run"
 }
 
 // finish publishes a call's outcome. Failed or abandoned calls are
@@ -276,12 +339,15 @@ func (r *Runner) finish(s Spec, c *call, res gpu.Result, err error, ran bool) {
 	close(c.done)
 }
 
-// simulate executes one simulation from scratch.
-func simulate(cfg config.GPU, f protect.Factory, s Spec) (gpu.Result, error) {
+// simulate executes one simulation from scratch. With a tracer attached,
+// the machine emits spans for its top-level stages (execute, drain) as
+// children of the caller's simulate span.
+func simulate(ctx context.Context, cfg config.GPU, f protect.Factory, s Spec, tr *obs.Tracer) (gpu.Result, error) {
 	m, err := gpu.New(cfg, s.Workload, f)
 	if err != nil {
 		return gpu.Result{}, err
 	}
+	m.SetTracer(ctx, tr)
 	res, err := m.Run()
 	if err != nil {
 		return gpu.Result{}, fmt.Errorf("bench: %s/%s/%s: %w", s.CfgID, s.Workload, s.Variant, err)

@@ -1,12 +1,14 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"cachecraft/internal/config"
 	"cachecraft/internal/dram"
 	"cachecraft/internal/layout"
 	"cachecraft/internal/mem"
+	"cachecraft/internal/obs"
 	"cachecraft/internal/protect"
 	"cachecraft/internal/sim"
 	"cachecraft/internal/stats"
@@ -39,6 +41,9 @@ type Machine struct {
 	smsDone     int
 	outstanding int
 	perfCycles  sim.Cycle
+
+	tr    *obs.Tracer     // optional stage tracing (nil = off)
+	trCtx context.Context // parent span context for Run's stage spans
 }
 
 // Result summarizes one simulation run.
@@ -247,16 +252,32 @@ func (m *Machine) accessRetired(now sim.Cycle) {
 	m.perfCycles = now
 }
 
+// SetTracer attaches span tracing for Run's top-level stages (execute,
+// drain), parented to the span carried by ctx. A nil tracer disables
+// tracing; the simulator's inner loop is never instrumented either way,
+// so the event-by-event hot path is unaffected.
+func (m *Machine) SetTracer(ctx context.Context, tr *obs.Tracer) {
+	m.tr = tr
+	m.trCtx = ctx
+}
+
 // Run executes the simulation to completion and returns the results.
 func (m *Machine) Run() (Result, error) {
+	ctx := m.trCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, s := range m.sms {
 		s.start()
 	}
 	limit := m.cfg.MaxCycles
+	_, exec := m.tr.Start(ctx, "sim.execute", obs.Int("sms", len(m.sms)))
 	finished := m.eng.RunUntil(limit, func() bool {
 		return m.smsDone == len(m.sms) && m.outstanding == 0
 	})
 	if !finished {
+		exec.SetAttr(obs.Bool("converged", false))
+		exec.End()
 		return Result{}, fmt.Errorf("gpu: simulation did not converge within %d cycles (done %d/%d SMs, %d outstanding)",
 			limit, m.smsDone, len(m.sms), m.outstanding)
 	}
@@ -264,20 +285,25 @@ func (m *Machine) Run() (Result, error) {
 	if perfEnd == 0 {
 		perfEnd = m.eng.Now()
 	}
+	exec.SetAttr(obs.Uint64("cycles", uint64(perfEnd)))
+	exec.End()
 	// Snapshot bandwidth utilization before the drain adds its traffic.
 	busUtil := stats.Mean(m.dram.BusUtilization(perfEnd))
 
 	// Drain: flush dirty cache state through the controller first (so its
 	// write path can still coalesce), then the controller's own buffers,
 	// then let DRAM empty.
+	_, drain := m.tr.Start(ctx, "sim.drain")
 	for _, b := range m.banks {
 		b.flushDirty(m.eng.Now(), m.scheme)
 	}
 	m.scheme.Drain(m.eng.Now())
 	m.eng.Run(limit + 10_000_000)
 	if !m.dram.Drain() {
+		drain.End()
 		return Result{}, fmt.Errorf("gpu: DRAM failed to drain")
 	}
+	drain.End()
 
 	var instrs uint64
 	for _, s := range m.sms {

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an int attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
+
+// Uint64 builds a uint64 attribute.
+func Uint64(k string, v uint64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a bool attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// SpanData is the exported form of a finished span: one NDJSON line.
+type SpanData struct {
+	Trace  string         `json:"trace"`
+	Span   string         `json:"span"`
+	Parent string         `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Start  int64          `json:"start_us"` // wall clock, microseconds since epoch
+	Dur    int64          `json:"dur_us"`   // monotonic duration, microseconds
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Exporter receives finished spans. Implementations must be safe for
+// concurrent use.
+type Exporter interface {
+	ExportSpan(SpanData)
+}
+
+// NDJSONExporter writes one JSON object per span, newline-delimited.
+type NDJSONExporter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewNDJSONExporter wraps w. The exporter serializes writes, so w needs no
+// locking of its own.
+func NewNDJSONExporter(w io.Writer) *NDJSONExporter {
+	return &NDJSONExporter{w: w}
+}
+
+// ExportSpan writes the span as one JSON line. Encoding errors are
+// dropped: telemetry must never fail the traced operation.
+func (e *NDJSONExporter) ExportSpan(d SpanData) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	enc := json.NewEncoder(e.w)
+	_ = enc.Encode(d)
+}
+
+// Tracer creates spans and hands finished ones to its exporter. A nil
+// *Tracer is a valid no-op tracer: Start returns the context unchanged and
+// a nil span, and every *Span method is nil-safe, so instrumented hot
+// paths pay only a nil check when tracing is off.
+type Tracer struct {
+	exp  Exporter
+	base uint64
+	seq  atomic.Uint64
+}
+
+// NewTracer builds a tracer exporting to exp. A nil exporter yields a
+// usable tracer that discards spans (useful in tests).
+func NewTracer(exp Exporter) *Tracer {
+	return &Tracer{exp: exp, base: processID}
+}
+
+// processID distinguishes IDs across processes writing to a shared sink.
+var processID = func() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}()
+
+func (t *Tracer) newID() string {
+	return fmt.Sprintf("%08x-%06x", uint32(t.base), t.seq.Add(1))
+}
+
+// NewID returns a short random hex ID, suitable for request IDs.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", processID)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one timed operation. Spans are created by Tracer.Start and
+// exported by End. All methods are nil-safe.
+type Span struct {
+	t       *Tracer
+	traceID string
+	id      string
+	parent  string
+	name    string
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+type spanCtxKey struct{}
+
+// SpanFromContext returns the span stored in ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// ContextWithSpan returns ctx carrying sp as the current span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// Start begins a span named name, parented to the span in ctx (if any),
+// and returns a derived context carrying the new span. On a nil tracer it
+// returns ctx unchanged and a nil span.
+func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sp := &Span{t: t, id: t.newID(), name: name, start: time.Now()}
+	if parent := SpanFromContext(ctx); parent != nil {
+		sp.traceID = parent.traceID
+		sp.parent = parent.id
+	} else {
+		sp.traceID = t.newID()
+	}
+	sp.SetAttr(attrs...)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// SetAttr adds annotations to the span. No-op on a nil or ended span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil || len(attrs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, len(attrs))
+	}
+	for _, a := range attrs {
+		s.attrs[a.Key] = a.Value
+	}
+}
+
+// End finishes the span and exports it. Safe to call on a nil span; a
+// second End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	if s.t.exp == nil {
+		return
+	}
+	s.t.exp.ExportSpan(SpanData{
+		Trace:  s.traceID,
+		Span:   s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start.UnixMicro(),
+		Dur:    dur.Microseconds(),
+		Attrs:  attrs,
+	})
+}

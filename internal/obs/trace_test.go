@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func readSpans(t *testing.T, buf *bytes.Buffer) []SpanData {
+	t.Helper()
+	var out []SpanData
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var d SpanData
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad NDJSON span line %q: %v", sc.Text(), err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestSpanExportNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewNDJSONExporter(&buf))
+
+	ctx, root := tr.Start(context.Background(), "cell",
+		String("workload", "stream"), Int("sms", 4))
+	_, child := tr.Start(ctx, "simulate")
+	time.Sleep(time.Millisecond)
+	child.SetAttr(Bool("ok", true))
+	child.End()
+	root.End()
+
+	spans := readSpans(t, &buf)
+	if len(spans) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(spans))
+	}
+	// Children export before parents (End order).
+	c, r := spans[0], spans[1]
+	if c.Name != "simulate" || r.Name != "cell" {
+		t.Fatalf("span order/names wrong: %q then %q", c.Name, r.Name)
+	}
+	if c.Trace != r.Trace {
+		t.Fatalf("child trace %q != root trace %q", c.Trace, r.Trace)
+	}
+	if c.Parent != r.Span {
+		t.Fatalf("child parent %q != root span id %q", c.Parent, r.Span)
+	}
+	if r.Parent != "" {
+		t.Fatalf("root has parent %q", r.Parent)
+	}
+	if c.Dur < 0 || r.Dur < c.Dur {
+		t.Fatalf("durations inconsistent: child %dus, root %dus", c.Dur, r.Dur)
+	}
+	if r.Attrs["workload"] != "stream" || r.Attrs["sms"] != float64(4) {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+	if c.Attrs["ok"] != true {
+		t.Fatalf("child attrs = %v", c.Attrs)
+	}
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	ctx2, sp := tr.Start(ctx, "anything", String("k", "v"))
+	if ctx2 != ctx {
+		t.Fatal("nil tracer modified the context")
+	}
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// Every span method must be a safe no-op on nil.
+	sp.SetAttr(Int("n", 1))
+	sp.End()
+	sp.End()
+	if got := SpanFromContext(ctx2); got != nil {
+		t.Fatalf("nil tracer leaked a span into the context: %v", got)
+	}
+}
+
+func TestDoubleEndExportsOnce(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewNDJSONExporter(&buf))
+	_, sp := tr.Start(context.Background(), "once")
+	sp.End()
+	sp.End()
+	if n := len(readSpans(t, &buf)); n != 1 {
+		t.Fatalf("double End exported %d spans, want 1", n)
+	}
+}
+
+func TestSeparateRootsGetSeparateTraces(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewNDJSONExporter(&buf))
+	_, a := tr.Start(context.Background(), "a")
+	_, b := tr.Start(context.Background(), "b")
+	a.End()
+	b.End()
+	spans := readSpans(t, &buf)
+	if spans[0].Trace == spans[1].Trace {
+		t.Fatalf("independent roots share trace id %q", spans[0].Trace)
+	}
+	if spans[0].Span == spans[1].Span {
+		t.Fatalf("span ids collide: %q", spans[0].Span)
+	}
+}
+
+func TestConcurrentSpansRace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewNDJSONExporter(&buf))
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ctx, root := tr.Start(context.Background(), "root")
+				_, child := tr.Start(ctx, "child")
+				child.SetAttr(Int("j", j))
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(readSpans(t, &buf)); n != 32*100*2 {
+		t.Fatalf("exported %d spans, want %d", n, 32*100*2)
+	}
+}
+
+func TestNewIDIsUniqueEnough(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 16 || strings.ContainsAny(id, " {}\"") {
+			t.Fatalf("malformed id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"cachecraft/internal/bench"
+	"cachecraft/internal/obs"
+)
+
+// metrics is the server's instrument set, all owned by one obs.Registry.
+// Values the runner and limiter already account for are exposed through
+// sampling collectors, so /metrics (and any registry snapshot) can never
+// drift from their source of truth; HTTP-layer events are counted here
+// directly.
+type metrics struct {
+	reg *obs.Registry
+
+	requests   *obs.CounterVec   // by endpoint, code
+	latency    *obs.HistogramVec // by endpoint
+	rejected   *obs.Counter
+	notMod     *obs.Counter
+	resultHits *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry, r *bench.Runner, lim *limiter) *metrics {
+	m := &metrics{reg: reg}
+	m.requests = reg.CounterVec("cachecraft_http_requests_total",
+		"HTTP requests served, by endpoint and status code.", "endpoint", "code")
+	m.latency = reg.HistogramVec("cachecraft_http_request_seconds",
+		"HTTP request latency in seconds, by endpoint.", obs.DefBuckets, "endpoint")
+	m.rejected = reg.Counter("cachecraft_http_rejected_total",
+		"Requests shed with 429 because every in-flight slot and queue position was taken.")
+	m.notMod = reg.Counter("cachecraft_http_not_modified_total",
+		"Conditional requests answered 304 against the record-checksum ETag.")
+	m.resultHits = reg.Counter("cachecraft_http_result_hits_total",
+		"HTTP responses served directly from stored record bytes (warm POST /v1/simulate and GET /v1/results).")
+
+	stat := func(pick func(bench.Stats) int) func() uint64 {
+		return func() uint64 {
+			v := pick(r.Stats())
+			if v < 0 {
+				return 0
+			}
+			return uint64(v)
+		}
+	}
+	reg.CounterFunc("cachecraft_sim_runs_total",
+		"Simulations actually executed by the runner.",
+		stat(func(s bench.Stats) int { return s.Runs }))
+	reg.CounterFunc("cachecraft_memo_hits_total",
+		"Requests answered from the runner's in-memory memo.",
+		stat(func(s bench.Stats) int { return s.MemoHits }))
+	reg.CounterFunc("cachecraft_singleflight_dedups_total",
+		"Requests that piggybacked on an in-flight simulation.",
+		stat(func(s bench.Stats) int { return s.Dedups }))
+	reg.CounterFunc("cachecraft_store_hits_total",
+		"Runner lookups answered from the persistent result store.",
+		stat(func(s bench.Stats) int { return s.StoreHits }))
+	reg.CounterFunc("cachecraft_store_misses_total",
+		"Runner lookups that missed the persistent result store.",
+		stat(func(s bench.Stats) int { return s.StoreMisses }))
+	reg.CounterFunc("cachecraft_store_put_errors_total",
+		"Failed attempts to persist a result (the result was still returned).",
+		stat(func(s bench.Stats) int { return s.StoreErrors }))
+	reg.GaugeFunc("cachecraft_inflight_sims",
+		"Simulation-bearing requests currently holding an in-flight slot.",
+		func() float64 { return float64(lim.inflight()) })
+	reg.GaugeFunc("cachecraft_queue_depth",
+		"Requests currently waiting for an in-flight slot.",
+		func() float64 { return float64(lim.queued()) })
+	return m
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, seconds float64) {
+	m.requests.With(endpoint, strconv.Itoa(code)).Inc()
+	m.latency.With(endpoint).Observe(seconds)
+}
+
+// endpointOf maps a request to its metric label; unknown paths collapse
+// into "other" so arbitrary URLs cannot mint unbounded label values.
+func endpointOf(r *http.Request) string {
+	switch {
+	case r.URL.Path == "/v1/simulate":
+		return "simulate"
+	case r.URL.Path == "/v1/sweep":
+		return "sweep"
+	case len(r.URL.Path) > len("/v1/results/") && r.URL.Path[:len("/v1/results/")] == "/v1/results/":
+		return "results"
+	case r.URL.Path == "/healthz":
+		return "healthz"
+	case r.URL.Path == "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+// statusWriter captures the response status and byte count while
+// preserving the Flusher behaviour the NDJSON sweep stream depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cachecraft/internal/obs"
+	"cachecraft/internal/store"
+)
+
+func getMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+// validateExposition checks the Prometheus text format contract: every
+// sample belongs to a family announced by # HELP and # TYPE lines, each
+// series appears exactly once, and histogram families render buckets with
+// a terminal +Inf plus _sum and _count. It returns the series keys in
+// output order and the set of family types.
+func validateExposition(t *testing.T, text string) ([]string, map[string]string) {
+	t.Helper()
+	help := map[string]bool{}
+	typed := map[string]string{}
+	seen := map[string]bool{}
+	var order []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			help[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			f := strings.Fields(rest)
+			if len(f) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[f[0]] = f[1]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample %q", line)
+		}
+		key := line[:sp]
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suf); trimmed != name && typed[trimmed] == "histogram" {
+				base = trimmed
+			}
+		}
+		if !help[base] || typed[base] == "" {
+			t.Fatalf("sample %q lacks HELP/TYPE for %q", line, base)
+		}
+		if seen[key] {
+			t.Fatalf("duplicate series %q", key)
+		}
+		seen[key] = true
+		order = append(order, key)
+	}
+	return order, typed
+}
+
+// TestMetricsExpositionIsValidPrometheus exercises several endpoints and
+// then requires /metrics to be a well-formed exposition containing the
+// full catalog, including at least one histogram, with stable series
+// ordering across fetches.
+func TestMetricsExpositionIsValidPrometheus(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, st, 4, 4)
+
+	resp := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stream","scheme":"none"}`, nil)
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stream","scheme":"none"}`, nil)
+	resp.Body.Close()
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	// Warm the metrics endpoint itself: its first scrape mints the
+	// endpoint="metrics" series after responding, so the series set only
+	// stabilizes from the second scrape on.
+	getMetrics(t, ts.URL)
+
+	text := getMetrics(t, ts.URL)
+	order, typed := validateExposition(t, text)
+	if len(order) == 0 {
+		t.Fatal("empty exposition")
+	}
+	wantFamilies := map[string]string{
+		"cachecraft_sim_runs_total":            "counter",
+		"cachecraft_memo_hits_total":           "counter",
+		"cachecraft_singleflight_dedups_total": "counter",
+		"cachecraft_store_hits_total":          "counter",
+		"cachecraft_store_misses_total":        "counter",
+		"cachecraft_store_put_errors_total":    "counter",
+		"cachecraft_http_requests_total":       "counter",
+		"cachecraft_http_rejected_total":       "counter",
+		"cachecraft_http_not_modified_total":   "counter",
+		"cachecraft_http_result_hits_total":    "counter",
+		"cachecraft_http_request_seconds":      "histogram",
+		"cachecraft_inflight_sims":             "gauge",
+		"cachecraft_queue_depth":               "gauge",
+	}
+	for name, kind := range wantFamilies {
+		if typed[name] != kind {
+			t.Fatalf("family %s has type %q, want %q\n%s", name, typed[name], kind, text)
+		}
+	}
+	if !strings.Contains(text, `cachecraft_http_request_seconds_bucket{endpoint="simulate",le="+Inf"}`) {
+		t.Fatalf("no +Inf bucket for the simulate endpoint:\n%s", text)
+	}
+
+	// Series ordering is deterministic: a second fetch must list the same
+	// series in the same order (values may differ — /metrics counts itself).
+	order2, _ := validateExposition(t, getMetrics(t, ts.URL))
+	if strings.Join(order, "\n") != strings.Join(order2, "\n") {
+		t.Fatalf("series order unstable:\n%v\nvs\n%v", order, order2)
+	}
+}
+
+// TestStoreHitSplitFromHTTPResultHits: serving stored bytes over HTTP must
+// not inflate the runner's store-hit counter, and vice versa.
+func TestStoreHitSplitFromHTTPResultHits(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, st, 4, 4)
+
+	// Cold simulate: one runner store miss, zero HTTP result hits.
+	resp := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stream","scheme":"none"}`, nil)
+	resp.Body.Close()
+	// Two warm repeats + one GET by fingerprint: three HTTP result hits,
+	// still zero runner store hits (the runner is never consulted).
+	for i := 0; i < 2; i++ {
+		resp = postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stream","scheme":"none"}`, nil)
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var rec store.Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatalf("bad warm body: %v", err)
+		}
+	}
+	fp := store.Fingerprint(quickBase(), "stream", "none")
+	gr, err := http.Get(ts.URL + "/v1/results/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+
+	text := getMetrics(t, ts.URL)
+	for _, want := range []string{
+		"cachecraft_store_hits_total 0\n",
+		"cachecraft_store_misses_total 1\n",
+		"cachecraft_http_result_hits_total 3\n",
+		"cachecraft_sim_runs_total 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, nil, 2, 2)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id generated")
+	}
+
+	// A client-supplied ID is echoed back, so callers can correlate.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "client-chosen-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-chosen-42" {
+		t.Fatalf("echoed id = %q, want client-chosen-42", got)
+	}
+}
+
+// TestAccessLogAndRequestSpans: with a Logger and Tracer configured, each
+// request emits one structured log line (with the request ID and status)
+// and one http.request span.
+func TestAccessLogAndRequestSpans(t *testing.T) {
+	var logBuf, spanBuf bytes.Buffer
+	srv := New(Options{
+		Base:        quickBase(),
+		MaxInFlight: 2,
+		MaxQueue:    2,
+		Logger:      slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		Tracer:      obs.NewTracer(obs.NewNDJSONExporter(&spanBuf)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "trace-me")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var entry map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log is not one JSON line: %v\n%s", err, logBuf.String())
+	}
+	if entry["id"] != "trace-me" || entry["status"] != float64(200) ||
+		entry["endpoint"] != "healthz" || entry["method"] != http.MethodGet {
+		t.Fatalf("access log entry = %v", entry)
+	}
+
+	var span obs.SpanData
+	if err := json.Unmarshal(spanBuf.Bytes(), &span); err != nil {
+		t.Fatalf("span export: %v\n%s", err, spanBuf.String())
+	}
+	if span.Name != "http.request" || span.Attrs["request_id"] != "trace-me" ||
+		span.Attrs["status"] != float64(200) {
+		t.Fatalf("request span = %+v", span)
+	}
+}

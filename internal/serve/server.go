@@ -12,21 +12,28 @@
 //	POST /v1/sweep             grid → NDJSON records streamed as cells finish
 //	GET  /v1/results/{fp}      stored record by fingerprint (ETag/304)
 //	GET  /healthz              liveness
-//	GET  /metrics              text counters (hits, dedups, in-flight, queue)
+//	GET  /metrics              Prometheus text exposition (obs.Registry)
+//
+// Every request gets an X-Request-Id (generated, or echoed from the
+// client's header), a per-endpoint latency observation, and — with a
+// Logger configured — one structured access-log line. All counters live in
+// an obs.Registry; see docs/OBSERVABILITY.md for the metric catalog.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"cachecraft/internal/bench"
 	"cachecraft/internal/config"
+	"cachecraft/internal/obs"
 	"cachecraft/internal/schemes"
 	"cachecraft/internal/store"
 	"cachecraft/internal/trace"
@@ -49,6 +56,17 @@ type Options struct {
 	// requests get 429.
 	MaxInFlight int
 	MaxQueue    int
+	// Registry receives the server's metrics (a fresh one is created when
+	// nil). Sharing a registry lets the embedding process add its own
+	// instruments to the same /metrics exposition.
+	Registry *obs.Registry
+	// Logger emits one structured access-log line per request (nil =
+	// access logging off).
+	Logger *slog.Logger
+	// Tracer wraps each request in a span (nil = tracing off). The span's
+	// context propagates into the runner, so traced requests show their
+	// cell phases as children.
+	Tracer *obs.Tracer
 }
 
 // Server is the HTTP layer. Create with New, mount via Handler.
@@ -58,11 +76,9 @@ type Server struct {
 	st     *store.Store
 	lim    *limiter
 	mux    *http.ServeMux
-
-	httpRequests atomic.Int64 // all requests
-	httpRejected atomic.Int64 // 429s
-	httpNotMod   atomic.Int64 // 304s
-	httpStoreHit atomic.Int64 // responses served from stored bytes
+	m      *metrics
+	log    *slog.Logger
+	tracer *obs.Tracer
 }
 
 // New builds a server. The runner's worker pool (bench.Runner.SetWorkers)
@@ -85,13 +101,20 @@ func New(opt Options) *Server {
 	if opt.Store != nil {
 		r.SetStore(opt.Store)
 	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		base:   opt.Base,
 		runner: r,
 		st:     opt.Store,
 		lim:    newLimiter(opt.MaxInFlight, opt.MaxQueue),
 		mux:    http.NewServeMux(),
+		log:    opt.Logger,
+		tracer: opt.Tracer,
 	}
+	s.m = newMetrics(reg, r, s.lim)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/results/{fingerprint}", s.handleResult)
@@ -100,11 +123,42 @@ func New(opt Options) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
+// Registry exposes the server's metrics registry, e.g. for a drain-time
+// snapshot that is guaranteed to agree with what /metrics last served.
+func (s *Server) Registry() *obs.Registry { return s.m.reg }
+
+// Handler returns the service's HTTP handler: the observability middleware
+// (request ID, per-endpoint metrics, optional access log and span) wrapped
+// around the route mux.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.httpRequests.Add(1)
-		s.mux.ServeHTTP(w, r)
+		start := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ep := endpointOf(r)
+		ctx, span := s.tracer.Start(r.Context(), "http.request",
+			obs.String("endpoint", ep),
+			obs.String("method", r.Method),
+			obs.String("request_id", id))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+		span.SetAttr(obs.Int("status", sw.code))
+		span.End()
+		s.m.observe(ep, sw.code, dur.Seconds())
+		if s.log != nil {
+			s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("endpoint", ep),
+				slog.Int("status", sw.code),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("dur", dur))
+		}
 	})
 }
 
@@ -166,7 +220,7 @@ func (s *Server) writeRecord(w http.ResponseWriter, r *http.Request, body []byte
 	etag := etagFor(sum)
 	w.Header().Set("ETag", etag)
 	if etagMatches(r, etag) {
-		s.httpNotMod.Add(1)
+		s.m.notMod.Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -195,7 +249,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// without touching the limiter or the runner.
 	if s.st != nil {
 		if body, sum, ok := s.st.GetRaw(fp); ok {
-			s.httpStoreHit.Add(1)
+			s.m.resultHits.Inc()
 			s.writeRecord(w, r, body, sum)
 			return
 		}
@@ -238,7 +292,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) reject(w http.ResponseWriter, err error) {
 	if errors.Is(err, errBusy) {
-		s.httpRejected.Add(1)
+		s.m.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "saturated: %d in flight, %d queued", s.lim.inflight(), s.lim.queued())
 	}
@@ -343,7 +397,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no result for fingerprint %q", fp)
 		return
 	}
-	s.httpStoreHit.Add(1)
+	s.m.resultHits.Inc()
 	s.writeRecord(w, r, body, sum)
 }
 
@@ -353,17 +407,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.runner.Stats()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "cachecraft_sim_runs_total %d\n", st.Runs)
-	fmt.Fprintf(w, "cachecraft_memo_hits_total %d\n", st.MemoHits)
-	fmt.Fprintf(w, "cachecraft_singleflight_dedups_total %d\n", st.Dedups)
-	fmt.Fprintf(w, "cachecraft_store_hits_total %d\n", st.StoreHits+int(s.httpStoreHit.Load()))
-	fmt.Fprintf(w, "cachecraft_store_misses_total %d\n", st.StoreMisses)
-	fmt.Fprintf(w, "cachecraft_store_put_errors_total %d\n", st.StoreErrors)
-	fmt.Fprintf(w, "cachecraft_inflight_sims %d\n", s.lim.inflight())
-	fmt.Fprintf(w, "cachecraft_queue_depth %d\n", s.lim.queued())
-	fmt.Fprintf(w, "cachecraft_http_requests_total %d\n", s.httpRequests.Load())
-	fmt.Fprintf(w, "cachecraft_http_rejected_total %d\n", s.httpRejected.Load())
-	fmt.Fprintf(w, "cachecraft_http_not_modified_total %d\n", s.httpNotMod.Load())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.reg.WritePrometheus(w)
 }

@@ -37,6 +37,48 @@ func TestCountersMerge(t *testing.T) {
 	}
 }
 
+func TestCountersMergeOrder(t *testing.T) {
+	// Merge keeps the destination's creation order and appends only the
+	// names it has never seen, in the source's order — the property the
+	// obs registry snapshot relies on for stable rendering.
+	a := NewCounters()
+	a.Add("x", 1)
+	a.Add("y", 2)
+	b := NewCounters()
+	b.Add("z", 3)
+	b.Add("y", 4)
+	b.Add("w", 5)
+	a.Merge(b)
+	got := a.Names()
+	want := []string{"x", "y", "z", "w"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountersMergeEmptyAndSelf(t *testing.T) {
+	a := NewCounters()
+	a.Add("x", 2)
+	a.Merge(NewCounters()) // no-op
+	if a.Get("x") != 2 || len(a.Names()) != 1 {
+		t.Fatalf("merge of empty changed a: %s", a)
+	}
+	empty := NewCounters()
+	empty.Merge(a) // merge into empty copies values and order
+	if empty.Get("x") != 2 || len(empty.Names()) != 1 {
+		t.Fatalf("merge into empty: %s", empty)
+	}
+	a.Merge(a) // self-merge doubles every counter but keeps the name set
+	if a.Get("x") != 4 || len(a.Names()) != 1 {
+		t.Fatalf("self-merge: %s", a)
+	}
+}
+
 func TestCountersRatio(t *testing.T) {
 	c := NewCounters()
 	c.Add("hit", 3)
