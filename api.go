@@ -60,7 +60,7 @@ func QuickConfig() Config { return config.Quick() }
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Version reports the simulator identity (module and simulation-semantics
-// revision, e.g. "cachecraft@r3"). It is baked into every persistent-store
+// revision, e.g. "cachecraft@r4"). It is baked into every persistent-store
 // fingerprint, so results produced by an older simulator revision are
 // never served as cache hits.
 func Version() string { return version.String() }
@@ -92,6 +92,32 @@ func Run(cfg Config, workload, scheme string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	res.Workload = workload
+	res.Scheme = scheme
+	return res, nil
+}
+
+// RunAudited is Run with the invariant-audit layer armed: the simulation
+// executes under internal/audit's checker, which verifies byte
+// conservation, MSHR pairing, tick monotonicity, DRAM scheduling
+// legality, and full end-of-sim drain as it runs. Auditing changes no
+// simulated timing — a clean audited run returns exactly Run's result —
+// but a run that violates an invariant fails with an error naming the
+// first violated rule. See docs/MODEL.md ("Invariants & auditing").
+func RunAudited(cfg Config, workload, scheme string) (Result, error) {
+	factory, err := schemes.ByName(scheme)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := gpu.New(cfg, workload, factory)
+	if err != nil {
+		return Result{}, err
+	}
+	m.EnableAudit()
 	res, err := m.Run()
 	if err != nil {
 		return Result{}, err

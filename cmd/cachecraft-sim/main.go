@@ -29,6 +29,7 @@ func main() {
 		l2MiB     = flag.Int("l2-mib", 0, "L2 capacity in MiB (0 = default)")
 		layoutStr = flag.String("layout", "", "inline-ECC layout: linear or row-local (default from config)")
 		quick     = flag.Bool("quick", false, "use the scaled-down test configuration")
+		auditOn   = flag.Bool("audit", false, "run under the invariant-audit layer (fails on any violation)")
 		list      = flag.Bool("list", false, "list workloads and schemes, then exit")
 		verbose   = flag.Bool("v", false, "dump all counters")
 		jsonOut   = flag.Bool("json", false, "emit the full result as JSON")
@@ -61,7 +62,11 @@ func main() {
 		cfg.Layout = *layoutStr
 	}
 
-	res, err := cachecraft.Run(cfg, *workload, *scheme)
+	run := cachecraft.Run
+	if *auditOn {
+		run = cachecraft.RunAudited
+	}
+	res, err := run(cfg, *workload, *scheme)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachecraft-sim:", err)
 		os.Exit(1)

@@ -48,6 +48,7 @@ func main() {
 		storeDir = flag.String("store", "", "persistent result store directory (empty = none)")
 		progress = flag.Bool("progress", false, "report live cell progress and ETA on stderr")
 		traceOut = flag.String("trace-out", "", "write per-cell NDJSON trace spans to this file")
+		auditOn  = flag.Bool("audit", false, "run every simulation under the invariant-audit layer")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 	}
 	r := bench.NewRunner(base)
 	r.SetWorkers(*jobs)
+	r.SetAudit(*auditOn)
 
 	// cleanup runs before every exit so trace output is never truncated.
 	var cleanup []func()

@@ -80,6 +80,7 @@ type Runner struct {
 	facts   map[string]protect.Factory
 	store   ResultStore   // optional durable tier (nil = disabled)
 	tracer  *obs.Tracer   // optional span tracing (nil = off, zero cost)
+	audit   bool          // run simulations under the invariant checker
 	stat    Stats         // counters; stat.Runs mirrors Runs()
 	slots   chan struct{} // bounded worker slots
 }
@@ -140,6 +141,19 @@ func (r *Runner) SetTracer(t *obs.Tracer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.tracer = t
+}
+
+// SetAudit runs every subsequent simulation under the invariant-audit
+// layer (internal/audit): a run that violates a simulation invariant
+// fails with an audit error instead of returning a result. Auditing
+// changes no simulated timing — results are identical either way — so
+// memoized and stored results remain valid when toggling it. Store hits
+// and memo hits are served without re-simulating and are therefore not
+// re-audited.
+func (r *Runner) SetAudit(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.audit = on
 }
 
 // Stats returns a snapshot of the runner's accounting: executed
@@ -236,8 +250,9 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 		st := r.store
 		slots := r.slots
 		tr := r.tracer
+		aud := r.audit
 		r.mu.Unlock()
-		return r.lead(ctx, s, c, cfg, f, st, slots, tr)
+		return r.lead(ctx, s, c, cfg, f, st, slots, tr, aud)
 	}
 }
 
@@ -246,7 +261,7 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 // whole cell in a span with one child per phase, so a trace shows exactly
 // where a cell's wall time went.
 func (r *Runner) lead(ctx context.Context, s Spec, c *call, cfg config.GPU,
-	f protect.Factory, st ResultStore, slots chan struct{}, tr *obs.Tracer) (gpu.Result, error) {
+	f protect.Factory, st ResultStore, slots chan struct{}, tr *obs.Tracer, aud bool) (gpu.Result, error) {
 	ctx, cell := tr.Start(ctx, "cell",
 		obs.String("config", s.CfgID),
 		obs.String("workload", s.Workload),
@@ -292,7 +307,7 @@ func (r *Runner) lead(ctx context.Context, s Spec, c *call, cfg config.GPU,
 		return gpu.Result{}, ctx.Err()
 	}
 	simCtx, sim := tr.Start(ctx, "simulate")
-	res, err := simulate(simCtx, cfg, f, s, tr)
+	res, err := simulate(simCtx, cfg, f, s, tr, aud)
 	sim.SetAttr(obs.Bool("ok", err == nil))
 	sim.End()
 	<-slots
@@ -342,12 +357,15 @@ func (r *Runner) finish(s Spec, c *call, res gpu.Result, err error, ran bool) {
 // simulate executes one simulation from scratch. With a tracer attached,
 // the machine emits spans for its top-level stages (execute, drain) as
 // children of the caller's simulate span.
-func simulate(ctx context.Context, cfg config.GPU, f protect.Factory, s Spec, tr *obs.Tracer) (gpu.Result, error) {
+func simulate(ctx context.Context, cfg config.GPU, f protect.Factory, s Spec, tr *obs.Tracer, aud bool) (gpu.Result, error) {
 	m, err := gpu.New(cfg, s.Workload, f)
 	if err != nil {
 		return gpu.Result{}, err
 	}
 	m.SetTracer(ctx, tr)
+	if aud {
+		m.EnableAudit()
+	}
 	res, err := m.Run()
 	if err != nil {
 		return gpu.Result{}, fmt.Errorf("bench: %s/%s/%s: %w", s.CfgID, s.Workload, s.Variant, err)

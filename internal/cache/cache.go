@@ -393,6 +393,39 @@ func (c *Cache) DirtyMask(lineAddr uint64) uint64 {
 	return 0
 }
 
+// CheckConsistency verifies the tag store's structural invariants: every
+// dirty bit covers a valid sector, valid lines hold at least one valid
+// sector, invalid ways carry no sector state, and no mask uses bits beyond
+// the line's sector count. It returns the first violation found, or nil.
+// The invariant-audit layer calls it at end of simulation.
+func (c *Cache) CheckConsistency() error {
+	limit := uint64(1)<<c.sectorsPerLine - 1
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			if !ln.valid {
+				if ln.vmask != 0 || ln.dmask != 0 {
+					return fmt.Errorf("cache %q: invalid way set %d way %d carries masks v=%#x d=%#x",
+						c.cfg.Name, s, w, ln.vmask, ln.dmask)
+				}
+				continue
+			}
+			addr := c.lineAddrOf(uint64(s), ln.tag)
+			switch {
+			case ln.vmask == 0:
+				return fmt.Errorf("cache %q: valid line %#x has no valid sectors", c.cfg.Name, addr)
+			case ln.vmask&^limit != 0 || ln.dmask&^limit != 0:
+				return fmt.Errorf("cache %q: line %#x mask exceeds %d sectors (v=%#x d=%#x)",
+					c.cfg.Name, addr, c.sectorsPerLine, ln.vmask, ln.dmask)
+			case ln.dmask&^ln.vmask != 0:
+				return fmt.Errorf("cache %q: line %#x dirty sectors not valid (v=%#x d=%#x)",
+					c.cfg.Name, addr, ln.vmask, ln.dmask)
+			}
+		}
+	}
+	return nil
+}
+
 // Walk visits every valid line (for drain/flush at end of simulation).
 func (c *Cache) Walk(visit func(lineAddr uint64, vmask, dmask uint64)) {
 	for s := range c.sets {

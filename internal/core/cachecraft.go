@@ -24,6 +24,8 @@
 package core
 
 import (
+	"sort"
+
 	"cachecraft/internal/cache"
 	"cachecraft/internal/mem"
 	"cachecraft/internal/protect"
@@ -578,8 +580,16 @@ func (c *CacheCraft) NeedsRMWFetch() bool { return true }
 
 // Drain flushes the write buffer and writes back dirty RC lines.
 func (c *CacheCraft) Drain(now sim.Cycle) {
-	for tagged, e := range c.wbuf {
-		c.flushEntry(now, tagged, e)
+	// Flush in address order, not map order: iteration order would vary
+	// run to run, reordering the drain's DRAM requests and making row-hit
+	// counts and latency histograms nondeterministic.
+	addrs := make([]uint64, 0, len(c.wbuf))
+	for tagged := range c.wbuf {
+		addrs = append(addrs, tagged)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, tagged := range addrs {
+		c.flushEntry(now, tagged, c.wbuf[tagged])
 	}
 	if c.rc != nil {
 		geo := c.env.Map.Geometry()

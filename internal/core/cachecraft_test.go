@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"cachecraft/internal/dram"
@@ -436,5 +437,52 @@ func TestWBufTimeoutGenerationGuard(t *testing.T) {
 	}
 	if env.Stats.Get("red_rmw") != 0 {
 		t.Fatalf("rmw = %d, want 0", env.Stats.Get("red_rmw"))
+	}
+}
+
+// drainOrderHook records the address of every DRAM request submitted
+// while attached (dram.Hook).
+type drainOrderHook struct{ addrs []uint64 }
+
+func (h *drainOrderHook) Submitted(_ sim.Cycle, req mem.Request, _, _ int, _ int64) {
+	h.addrs = append(h.addrs, req.Addr)
+}
+func (h *drainOrderHook) Serviced(sim.Cycle, mem.Request, int, int, int64, int64, sim.Cycle) {}
+func (h *drainOrderHook) Refreshed(sim.Cycle, int)                                           {}
+
+// TestCacheCraftDrainDeterministic is the regression test for the
+// map-order drain bug: Drain used to iterate the write buffer directly,
+// flushing entries in Go's randomized map order, so the drain phase's
+// DRAM request sequence — and with it row-hit counters and the latency
+// histogram — varied between identical runs. The drain must flush in
+// ascending address order, identically every run.
+func TestCacheCraftDrainDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		env, eng, _ := testEnv(t)
+		opt := Options{WBuf: true, WBufEntries: 256, WBufTimeout: 1 << 20}
+		c := New(env, opt)
+		// One partially-written granule per iteration, far enough apart to
+		// be distinct redundancy blocks; none reach the full-granule mask,
+		// so all stay buffered until Drain.
+		for i := 0; i < 48; i++ {
+			c.Writeback(sim.Cycle(i), uint64(i)*4096, 0b0001)
+		}
+		hook := &drainOrderHook{}
+		env.DRAM.SetHook(hook)
+		c.Drain(eng.Now())
+		return hook.addrs
+	}
+	a := run()
+	if len(a) != 48 {
+		t.Fatalf("drain submitted %d requests, want 48", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1] >= a[i] {
+			t.Fatalf("drain order not ascending at %d: %#x then %#x", i, a[i-1], a[i])
+		}
+	}
+	b := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical drains submitted different orders:\n%v\nvs\n%v", a, b)
 	}
 }

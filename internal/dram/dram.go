@@ -122,14 +122,34 @@ type channel struct {
 	nextCmd sim.Cycle // command-pacing: no two issues within TCmd
 }
 
+// Hook observes the memory system's scheduling decisions for the
+// invariant-audit layer. Serviced reports the state the scheduler saw
+// before mutating it (the open row and bank-ready cycle at pick time), so
+// an observer can maintain shadow state and flag illegal transitions.
+type Hook interface {
+	// Submitted fires when a request enters a bank queue.
+	Submitted(now sim.Cycle, req mem.Request, ch, bk int, row int64)
+	// Serviced fires when the scheduler dispatches a request. openBefore
+	// and readyBefore are the bank's open row and ready cycle at dispatch.
+	Serviced(now sim.Cycle, req mem.Request, ch, bk int, row, openBefore int64, readyBefore sim.Cycle)
+	// Refreshed fires once per refresh interval served on a channel; all
+	// of the channel's rows close.
+	Refreshed(now sim.Cycle, ch int)
+}
+
 // DRAM is the memory system. It is driven by the shared event engine.
 type DRAM struct {
 	cfg     Config
 	eng     *sim.Engine
 	chans   []*channel
+	hook    Hook
 	Stats   *stats.Counters
 	LatHist *stats.Histogram
 }
+
+// SetHook installs a scheduling observer (nil = off, one branch per
+// request).
+func (d *DRAM) SetHook(h Hook) { d.hook = h }
 
 // New builds the memory system on the given engine. It panics on an
 // invalid configuration (static setup).
@@ -174,9 +194,12 @@ func (d *DRAM) route(addr uint64) (ch, bk int, row int64) {
 // completion time. Reads and writes are scheduled identically (write
 // latency matters because protection read-modify-writes serialize on it).
 func (d *DRAM) Submit(now sim.Cycle, req mem.Request) {
-	ch, bk, _ := d.route(req.Addr)
+	ch, bk, row := d.route(req.Addr)
 	c := d.chans[ch]
 	c.banks[bk].push(pendingReq{req: req, arrival: now})
+	if d.hook != nil {
+		d.hook.Submitted(now, req, ch, bk, row)
+	}
 	d.Stats.Inc("requests")
 	d.Stats.Add("bytes_"+req.Class.String(), uint64(req.Bytes))
 	if req.Write {
@@ -246,6 +269,9 @@ func (d *DRAM) service(c *channel, now sim.Cycle) {
 	}
 	pr := b.removeAt(idx)
 	_, _, row := d.route(pr.req.Addr)
+	if d.hook != nil {
+		d.hook.Serviced(now, pr.req, c.id, bk, row, b.openRow, b.readyAt)
+	}
 
 	// Split bank occupancy from access latency: a row hit issues its CAS
 	// now and the bank can take the next CAS one burst later (tCCD), while
@@ -306,6 +332,9 @@ func (d *DRAM) maybeRefresh(c *channel, now sim.Cycle) {
 		}
 		c.nextRefresh += d.cfg.TREFI
 		d.Stats.Inc("refreshes")
+		if d.hook != nil {
+			d.hook.Refreshed(now, c.id)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"reflect"
 	"testing"
 
 	"cachecraft/internal/ecc"
@@ -117,6 +118,112 @@ func TestCampaignDeterminism(t *testing.T) {
 	b := Campaign{Codec: rs(t), Trials: 200, Seed: 7}.Run("3bit", BitFlips(3))
 	if a.Counts != b.Counts {
 		t.Fatalf("campaigns differ: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+// taggedCodec adapts *ecc.Tagged (whose API takes an asserted tag per
+// call) to the SectorCodec interface by pinning one tag value, so the
+// tagged code can sit in the same injection matrix as the plain sector
+// codecs. A tag mismatch or uncorrectable word both surface as Detected:
+// either way the access must not consume the data.
+type taggedCodec struct {
+	inner *ecc.Tagged
+	tag   []byte
+}
+
+func (c taggedCodec) Name() string           { return c.inner.Name() }
+func (c taggedCodec) SectorBytes() int       { return c.inner.DataBytes() }
+func (c taggedCodec) RedundancyBytes() int   { return c.inner.ParityBytes() }
+func (c taggedCodec) Encode(s []byte) []byte { return c.inner.Encode(s, c.tag) }
+
+func (c taggedCodec) Decode(sector, redundancy []byte) ecc.Result {
+	switch c.inner.Check(sector, redundancy, c.tag) {
+	case ecc.TagOK:
+		return ecc.OK
+	case ecc.TagOKCorrected:
+		return ecc.Corrected
+	default:
+		return ecc.Detected
+	}
+}
+
+// TestInjectorCodecMatrix runs every injector against every codec and
+// checks the invariants that hold regardless of cell: outcome counts
+// partition the trials, reports carry the right identity fields, and an
+// identical seed replays an identical report. Codec-specific guarantees
+// (which cells must be all-Corrected, which may miscorrect) are pinned by
+// the dedicated tests above; this matrix is the safety net that no
+// (injector, codec) pairing crashes, loses trials, or went nondeterministic.
+func TestInjectorCodecMatrix(t *testing.T) {
+	secdaec, err := ecc.NewSECDAECSector(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipkill, err := ecc.NewChipkill(32, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := ecc.NewTagged(32, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs := []ecc.SectorCodec{
+		secded(t),
+		rs(t),
+		secdaec,
+		chipkill,
+		taggedCodec{inner: tagged, tag: []byte{0xA5, 0x3C}},
+	}
+	injectors := []struct {
+		name   string
+		inject Injector
+	}{
+		{"1bit", BitFlips(1)},
+		{"2bit", BitFlips(2)},
+		{"burst4", Burst(4)},
+		{"chip", ChipError()},
+		{"2chip", DoubleChipError()},
+	}
+	for _, codec := range codecs {
+		for _, inj := range injectors {
+			t.Run(codec.Name()+"/"+inj.name, func(t *testing.T) {
+				c := Campaign{Codec: codec, Trials: 300, Seed: 99}
+				rep := c.Run(inj.name, inj.inject)
+				if rep.Codec != codec.Name() || rep.Fault != inj.name || rep.Trials != 300 {
+					t.Fatalf("report identity wrong: %+v", rep)
+				}
+				sum := 0
+				for _, n := range rep.Counts {
+					sum += n
+				}
+				if sum != rep.Trials {
+					t.Fatalf("outcome counts %v sum to %d, want %d trials", rep.Counts, sum, rep.Trials)
+				}
+				if again := c.Run(inj.name, inj.inject); !reflect.DeepEqual(rep, again) {
+					t.Fatalf("same seed produced different reports:\n%+v\n%+v", rep, again)
+				}
+			})
+		}
+	}
+}
+
+// TestSingleBitNeverSDC pins the floor guarantee every codec in the matrix
+// shares: a single flipped bit is within each code's correction radius, so
+// it must never miscorrect or pass silently — for SEC-DED that is the
+// literal design point, and the symbol codes correct any one damaged symbol.
+func TestSingleBitNeverSDC(t *testing.T) {
+	secdaec, err := ecc.NewSECDAECSector(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range []ecc.SectorCodec{secded(t), rs(t), secdaec} {
+		rep := Campaign{Codec: codec, Trials: 400, Seed: 11}.Run("1bit", BitFlips(1))
+		if rep.Counts[Corrected] != rep.Trials {
+			t.Fatalf("%s: single-bit flips not fully corrected: %+v", codec.Name(), rep.Counts)
+		}
+		if rep.Counts[Miscorrected] != 0 || rep.Counts[SilentBad] != 0 {
+			t.Fatalf("%s: single-bit SDC: %+v", codec.Name(), rep.Counts)
+		}
 	}
 }
 

@@ -249,12 +249,18 @@ func (b *L2Bank) enqueueMiss(now sim.Cycle, lineAddr uint64, mask uint64, t l2Ta
 	if !ok {
 		e = &l2Entry{}
 		b.mshr[lineAddr] = e
+		if b.m.audit != nil {
+			b.m.audit.MSHRAlloc(now, b.id, lineAddr, len(b.mshr))
+		}
 	}
 	e.targets = append(e.targets, t)
 	fetch := mask &^ e.pending
 	e.pending |= mask
 	if fetch == 0 {
 		return
+	}
+	if b.m.audit != nil {
+		b.m.audit.MSHRFetch(now, b.id, lineAddr, fetch)
 	}
 	class := memClassDemand
 	if t.write {
@@ -272,10 +278,16 @@ func (b *L2Bank) onFill(now sim.Cycle, lineAddr uint64, mask uint64) {
 	if !ok {
 		panic("gpu: L2 fill with no MSHR entry")
 	}
+	if b.m.audit != nil {
+		b.m.audit.MSHRFill(now, b.id, lineAddr, mask)
+	}
 	b.fill(now, lineAddr, mask, 0)
 	e.filled |= mask
 	if e.filled != e.pending {
 		return
+	}
+	if b.m.audit != nil {
+		b.m.audit.MSHRRelease(now, b.id, lineAddr)
 	}
 	delete(b.mshr, lineAddr)
 	b.pump(now)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"cachecraft/internal/audit"
 	"cachecraft/internal/config"
 	"cachecraft/internal/dram"
 	"cachecraft/internal/layout"
@@ -44,6 +45,8 @@ type Machine struct {
 
 	tr    *obs.Tracer     // optional stage tracing (nil = off)
 	trCtx context.Context // parent span context for Run's stage spans
+
+	audit *audit.Checker // invariant checker (nil = off)
 }
 
 // Result summarizes one simulation run.
@@ -200,11 +203,48 @@ func (m *Machine) reconFeedback(addr uint64, used bool) {
 	}
 }
 
+// EnableAudit arms the invariant checker on every layer of the machine:
+// engine step ordering, SM↔L2 transaction tokens, L2 MSHR pairing, the
+// protection controller's read/writeback protocol, crossbar byte and
+// latency accounting, and DRAM scheduling legality. It must be called
+// before Run and returns the checker so callers can inspect violations
+// even when Run fails for an unrelated reason. Calling it again returns
+// the already-armed checker.
+func (m *Machine) EnableAudit() *audit.Checker {
+	if m.audit != nil {
+		return m.audit
+	}
+	c := audit.NewChecker()
+	m.audit = c
+	c.SetMSHRCapacity(m.cfg.L2MSHRs)
+	m.eng.SetStepHook(c.EngineStep)
+	m.dram.SetHook(c)
+	reqLat := m.reqNet.Latency()
+	m.reqNet.SetHook(func(at, deliver sim.Cycle, src, dst, bytes int) {
+		c.XbarTransfer("req", at, deliver, bytes, reqLat)
+	})
+	respLat := m.respNet.Latency()
+	m.respNet.SetHook(func(at, deliver sim.Cycle, src, dst, bytes int) {
+		c.XbarTransfer("resp", at, deliver, bytes, respLat)
+	})
+	// The wrapper preserves ReconstructionObserver, so reconFeedback's type
+	// assertion on m.scheme keeps working for CacheCraft.
+	m.scheme = protect.WrapAudited(m.scheme, c)
+	return c
+}
+
+// Audit reports the armed checker (nil when auditing is off).
+func (m *Machine) Audit() *audit.Checker { return m.audit }
+
 // sendRead models the SM→L2 request hop and the L2→SM data hop for a line
 // read; done fires once per delivered sector batch with that batch's mask.
 func (m *Machine) sendRead(now sim.Cycle, smID int, lineAddr uint64, mask uint64,
 	done func(now sim.Cycle, mask uint64)) {
 	m.outstanding++
+	var tok uint64
+	if m.audit != nil {
+		tok = m.audit.ReadIssued(now, smID, lineAddr, mask)
+	}
 	remaining := mask
 	bankIdx := m.bankIndexFor(lineAddr)
 	arrive := m.reqNet.Transfer(now, smID, bankIdx, 16)
@@ -212,6 +252,9 @@ func (m *Machine) sendRead(now sim.Cycle, smID int, lineAddr uint64, mask uint64
 	bank.HandleRead(arrive, lineAddr, mask, func(at sim.Cycle, got uint64) {
 		deliver := m.respNet.Transfer(at, bankIdx, smID, popcount(got)*m.cfg.L2.SectorBytes)
 		m.eng.At(deliver, func(dn sim.Cycle) {
+			if m.audit != nil {
+				m.audit.Delivered(dn, tok, got)
+			}
 			remaining &^= got
 			if remaining == 0 {
 				m.outstanding--
@@ -226,6 +269,10 @@ func (m *Machine) sendRead(now sim.Cycle, smID int, lineAddr uint64, mask uint64
 func (m *Machine) sendStore(now sim.Cycle, smID int, g lineGroup,
 	done func(now sim.Cycle, mask uint64)) {
 	m.outstanding++
+	var tok uint64
+	if m.audit != nil {
+		tok = m.audit.StoreIssued(now, smID, g.lineAddr, g.sectorMask)
+	}
 	bytes := 16 + popcount(g.sectorMask)*m.cfg.L2.SectorBytes
 	bankIdx := m.bankIndexFor(g.lineAddr)
 	arrive := m.reqNet.Transfer(now, smID, bankIdx, bytes)
@@ -235,6 +282,9 @@ func (m *Machine) sendStore(now sim.Cycle, smID int, g lineGroup,
 		func(at sim.Cycle, got uint64) {
 			deliver := m.respNet.Transfer(at, bankIdx, smID, 8)
 			m.eng.At(deliver, func(dn sim.Cycle) {
+				if m.audit != nil {
+					m.audit.Delivered(dn, tok, got)
+				}
 				remaining &^= got
 				if remaining == 0 {
 					m.outstanding--
@@ -304,6 +354,21 @@ func (m *Machine) Run() (Result, error) {
 		return Result{}, fmt.Errorf("gpu: DRAM failed to drain")
 	}
 	drain.End()
+
+	if m.audit != nil {
+		end := m.eng.Now()
+		for _, b := range m.banks {
+			m.audit.BankDrained(end, b.id, len(b.mshr), len(b.waiting))
+			m.audit.CacheViolation(end, b.cache.CheckConsistency())
+		}
+		m.audit.FinishSim(end, m.outstanding, m.eng.Pending())
+		m.audit.FinishDRAM(end, m.dram.Stats)
+		m.audit.FinishXbar(end, "req", m.reqNet.TotalBytes())
+		m.audit.FinishXbar(end, "resp", m.respNet.TotalBytes())
+		if err := m.audit.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 
 	var instrs uint64
 	for _, s := range m.sms {

@@ -331,21 +331,27 @@ func labelString(keys, values []string, extraKey, extraVal string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(values[i]))
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(values[i]))
 	}
 	if extraKey != "" {
 		if len(keys) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+		fmt.Fprintf(&b, "%s=\"%s\"", extraKey, escapeLabel(extraVal))
 	}
 	b.WriteByte('}')
 	return b.String()
 }
 
-// escapeLabel escapes a label value per the exposition format (%q then
-// handles quote/backslash; newlines must become \n explicitly).
+// escapeLabel escapes a label value per the text exposition format
+// (version 0.0.4), which defines exactly three escapes inside label
+// values: backslash, double-quote, and line feed. Anything else — tabs,
+// high bytes — passes through verbatim; Go's %q must not be used here
+// because it both invents escapes the format does not define and
+// double-escapes any pre-escaped backslash.
 func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 

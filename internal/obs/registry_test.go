@@ -61,6 +61,72 @@ lat_seconds_count 4
 	}
 }
 
+// TestHistogramEdgeExposition pins the exposition of the two degenerate
+// histogram shapes: a histogram that has observed nothing (all-zero
+// cumulative buckets, zero sum and count) and one with a single
+// observation (every bucket at or above it reads 1, and +Inf equals
+// _count). Both are required by the 0.0.4 text format — scrapers divide
+// by _count and difference adjacent buckets, so a missing series or a
+// non-cumulative rendering silently corrupts rates.
+func TestHistogramEdgeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "never observed", 0.1, 1)
+	r.Histogram("single_seconds", "observed once", 0.1, 1).Observe(0.5)
+
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	want := `# HELP empty_seconds never observed
+# TYPE empty_seconds histogram
+empty_seconds_bucket{le="0.1"} 0
+empty_seconds_bucket{le="1"} 0
+empty_seconds_bucket{le="+Inf"} 0
+empty_seconds_sum 0
+empty_seconds_count 0
+# HELP single_seconds observed once
+# TYPE single_seconds histogram
+single_seconds_bucket{le="0.1"} 0
+single_seconds_bucket{le="1"} 1
+single_seconds_bucket{le="+Inf"} 1
+single_seconds_sum 0.5
+single_seconds_count 1
+`
+	if buf.String() != want {
+		t.Fatalf("edge-histogram exposition mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+	parseExposition(t, buf.String())
+}
+
+// TestLabelValueEscaping pins the three escapes the text format defines
+// inside label values — backslash, double-quote, and line feed — and
+// nothing else. The old renderer pre-replaced newlines and then quoted
+// with %q, double-escaping the backslash (rendering \\n instead of \n)
+// and inventing escapes like \t that the format does not define.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("esc_total", "escaping", "path")
+	c.With("a\nb").Inc()
+	c.With(`back\slash`).Add(2)
+	c.With(`quo"te`).Add(3)
+	c.With("tab\there").Add(4)
+
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`esc_total{path="a\nb"} 1`,
+		`esc_total{path="back\\slash"} 2`,
+		`esc_total{path="quo\"te"} 3`,
+		"esc_total{path=\"tab\there\"} 4", // tab passes through verbatim
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `\\n`) {
+		t.Fatalf("newline double-escaped:\n%s", out)
+	}
+}
+
 func TestFuncCollectors(t *testing.T) {
 	r := NewRegistry()
 	n := uint64(0)

@@ -1,0 +1,77 @@
+package protect
+
+import (
+	"cachecraft/internal/mem"
+	"cachecraft/internal/sim"
+)
+
+// SchemeSink observes controller-level events for the invariant-audit
+// layer: every ReadMiss issued (with its completion), every Writeback, and
+// the end-of-sim Drain. internal/audit.Checker implements it.
+type SchemeSink interface {
+	// ReadMissIssued records a controller read and returns a token that
+	// identifies it to ReadMissDone.
+	ReadMissIssued(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class) uint64
+	// ReadMissDone records the (exactly-once) completion of a read.
+	ReadMissDone(at sim.Cycle, token uint64)
+	// WritebackIssued records a writeback handed to the controller.
+	WritebackIssued(now sim.Cycle, lineAddr uint64, dirtyMask uint64)
+	// DrainIssued records the end-of-sim drain call.
+	DrainIssued(now sim.Cycle)
+}
+
+// WrapAudited decorates a scheme so every Scheme-interface call is
+// reported to the sink before being forwarded. The wrapper preserves the
+// inner scheme's ReconstructionObserver capability so predictor feedback
+// keeps flowing when the scheme is CacheCraft.
+func WrapAudited(s Scheme, sink SchemeSink) Scheme {
+	a := &auditedScheme{inner: s, sink: sink}
+	if ro, ok := s.(ReconstructionObserver); ok {
+		return &auditedObserver{auditedScheme: a, ro: ro}
+	}
+	return a
+}
+
+type auditedScheme struct {
+	inner Scheme
+	sink  SchemeSink
+}
+
+func (a *auditedScheme) Name() string { return a.inner.Name() }
+
+func (a *auditedScheme) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
+	token := a.sink.ReadMissIssued(now, lineAddr, mask, class)
+	a.inner.ReadMiss(now, lineAddr, mask, class, func(at sim.Cycle) {
+		a.sink.ReadMissDone(at, token)
+		done(at)
+	})
+}
+
+func (a *auditedScheme) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64) {
+	a.sink.WritebackIssued(now, lineAddr, dirtyMask)
+	a.inner.Writeback(now, lineAddr, dirtyMask)
+}
+
+func (a *auditedScheme) NeedsRMWFetch() bool { return a.inner.NeedsRMWFetch() }
+
+func (a *auditedScheme) Drain(now sim.Cycle) {
+	a.sink.DrainIssued(now)
+	a.inner.Drain(now)
+}
+
+// auditedObserver adds ReconstructionObserver forwarding for schemes that
+// implement it (CacheCraft).
+type auditedObserver struct {
+	*auditedScheme
+	ro ReconstructionObserver
+}
+
+func (a *auditedObserver) ReconstructedUse(addr uint64, used bool) {
+	a.ro.ReconstructedUse(addr, used)
+}
+
+var (
+	_ Scheme                 = (*auditedScheme)(nil)
+	_ Scheme                 = (*auditedObserver)(nil)
+	_ ReconstructionObserver = (*auditedObserver)(nil)
+)

@@ -109,6 +109,15 @@ func (e *Env) FinishDecode(now sim.Cycle, lineAddr uint64, done func(sim.Cycle))
 			Class: mem.Writeback,
 		})
 	}
+	if lat == 0 {
+		// A zero-latency decode completes inline. Routing it through the
+		// event queue would not cost cycles, but it would reorder the
+		// completion behind other events already scheduled for this cycle,
+		// perturbing DRAM arbitration — a zero-cost decode must be a true
+		// no-op, indistinguishable from no decode stage at all.
+		done(now)
+		return
+	}
 	e.Eng.At(now+lat, done)
 }
 

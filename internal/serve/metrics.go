@@ -16,11 +16,12 @@ import (
 type metrics struct {
 	reg *obs.Registry
 
-	requests   *obs.CounterVec   // by endpoint, code
-	latency    *obs.HistogramVec // by endpoint
-	rejected   *obs.Counter
-	notMod     *obs.Counter
-	resultHits *obs.Counter
+	requests    *obs.CounterVec   // by endpoint, code
+	latency     *obs.HistogramVec // by endpoint
+	rejected    *obs.Counter
+	notMod      *obs.Counter
+	resultHits  *obs.Counter
+	sweepErrors *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry, r *bench.Runner, lim *limiter) *metrics {
@@ -35,6 +36,8 @@ func newMetrics(reg *obs.Registry, r *bench.Runner, lim *limiter) *metrics {
 		"Conditional requests answered 304 against the record-checksum ETag.")
 	m.resultHits = reg.Counter("cachecraft_http_result_hits_total",
 		"HTTP responses served directly from stored record bytes (warm POST /v1/simulate and GET /v1/results).")
+	m.sweepErrors = reg.Counter("cachecraft_sweep_cell_errors_total",
+		"Sweep cells that failed mid-stream and were reported as NDJSON error lines.")
 
 	stat := func(pick func(bench.Stats) int) func() uint64 {
 		return func() uint64 {

@@ -182,6 +182,18 @@ type sweepError struct {
 	Error    string `json:"error"`
 }
 
+// sweepTrailer is the final NDJSON line of a sweep stream that ran to
+// completion. Its presence is the client's completeness signal: a stream
+// that ends without a trailer was truncated (client cancellation, server
+// death), whereas a trailer with a non-zero error count says the grid was
+// fully attempted but some cells failed. Done is always true — the field
+// exists so clients can cheaply distinguish the trailer from cell lines.
+type sweepTrailer struct {
+	Done   bool `json:"done"`
+	Cells  int  `json:"cells"`
+	Errors int  `json:"errors"`
+}
+
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -337,22 +349,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// concurrency and dedups against concurrent requests) and stream each
 	// cell's record the moment it completes. Producers never block on a
 	// departed consumer: every send selects against ctx.
-	lines := make(chan []byte)
+	type sweepLine struct {
+		line   []byte
+		failed bool
+	}
+	lines := make(chan sweepLine)
 	var wg sync.WaitGroup
 	for _, wl := range req.Workloads {
 		for _, sc := range req.Schemes {
 			wg.Add(1)
 			go func(wl, sc string) {
 				defer wg.Done()
-				var line []byte
+				out := sweepLine{}
 				res, err := s.runner.ResultCtx(ctx, bench.Spec{CfgID: "base", Workload: wl, Variant: sc})
 				if err != nil {
 					if ctx.Err() != nil {
 						return
 					}
-					line, _ = json.Marshal(sweepError{Workload: wl, Scheme: sc, Error: err.Error()})
+					out.line, _ = json.Marshal(sweepError{Workload: wl, Scheme: sc, Error: err.Error()})
+					out.failed = true
 				} else {
-					line, _, err = store.EncodeRecord(store.Record{
+					out.line, _, err = store.EncodeRecord(store.Record{
 						Fingerprint: store.Fingerprint(s.base, wl, sc),
 						Sim:         version.String(),
 						Workload:    wl,
@@ -360,11 +377,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 						Result:      res,
 					})
 					if err != nil {
-						line, _ = json.Marshal(sweepError{Workload: wl, Scheme: sc, Error: err.Error()})
+						out.line, _ = json.Marshal(sweepError{Workload: wl, Scheme: sc, Error: err.Error()})
+						out.failed = true
 					}
 				}
 				select {
-				case lines <- line:
+				case lines <- out:
 				case <-ctx.Done():
 				}
 			}(wl, sc)
@@ -374,10 +392,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Wait()
 		close(lines)
 	}()
-	for line := range lines {
+	cells, failed := 0, 0
+	for out := range lines {
 		if ctx.Err() != nil {
 			break // client cancelled mid-stream; producers drain via ctx
 		}
+		cells++
+		if out.failed {
+			failed++
+			s.m.sweepErrors.Inc()
+		}
+		w.Write(out.line)
+		w.Write([]byte("\n"))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Terminal trailer: only a stream the client consumed to the end gets
+	// one, so its absence marks truncation and its error count reports
+	// mid-stream failures that HTTP status (long since sent) cannot.
+	if ctx.Err() == nil {
+		line, _ := json.Marshal(sweepTrailer{Done: true, Cells: cells, Errors: failed})
 		w.Write(line)
 		w.Write([]byte("\n"))
 		if flusher != nil {

@@ -216,8 +216,9 @@ func TestBackpressure429(t *testing.T) {
 	}
 }
 
-// TestSweepStreamsNDJSON: a sweep streams one NDJSON record per cell and
-// every cell of the grid appears exactly once.
+// TestSweepStreamsNDJSON: a sweep streams one NDJSON record per cell,
+// every cell of the grid appears exactly once, and the stream ends with a
+// completion trailer carrying the cell and error counts.
 func TestSweepStreamsNDJSON(t *testing.T) {
 	st, err := store.Open(t.TempDir())
 	if err != nil {
@@ -233,9 +234,18 @@ func TestSweepStreamsNDJSON(t *testing.T) {
 		t.Fatalf("content type %q", ct)
 	}
 	seen := map[string]bool{}
+	var trailer *sweepTrailer
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
+		if trailer != nil {
+			t.Fatalf("line after trailer: %s", sc.Text())
+		}
+		var tr sweepTrailer
+		if err := json.Unmarshal(sc.Bytes(), &tr); err == nil && tr.Done {
+			trailer = &tr
+			continue
+		}
 		var rec store.Record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
@@ -251,6 +261,74 @@ func TestSweepStreamsNDJSON(t *testing.T) {
 	}
 	if len(seen) != 4 {
 		t.Fatalf("cells = %v, want 4", seen)
+	}
+	if trailer == nil {
+		t.Fatal("stream ended without a completion trailer")
+	}
+	if trailer.Cells != 4 || trailer.Errors != 0 {
+		t.Fatalf("trailer = %+v, want 4 cells, 0 errors", *trailer)
+	}
+}
+
+// TestSweepErrorLinesAndTrailer: cells that fail mid-sweep surface as
+// NDJSON error lines (the stream keeps going), the completion trailer
+// reports the failure count, and the failures land on the
+// cachecraft_sweep_cell_errors_total metric.
+func TestSweepErrorLinesAndTrailer(t *testing.T) {
+	base := quickBase()
+	base.MaxCycles = 1 // every simulation fails to converge
+	srv := New(Options{Base: base, MaxInFlight: 4, MaxQueue: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/v1/sweep", `{"workloads":["stream","scan"],"schemes":["none"]}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+	errLines := 0
+	var trailer *sweepTrailer
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if trailer != nil {
+			t.Fatalf("line after trailer: %s", sc.Text())
+		}
+		var tr sweepTrailer
+		if err := json.Unmarshal(sc.Bytes(), &tr); err == nil && tr.Done {
+			trailer = &tr
+			continue
+		}
+		var se sweepError
+		if err := json.Unmarshal(sc.Bytes(), &se); err != nil || se.Error == "" {
+			t.Fatalf("expected error line, got: %s", sc.Text())
+		}
+		if !strings.Contains(se.Error, "converge") {
+			t.Fatalf("error line does not carry the cause: %q", se.Error)
+		}
+		errLines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if errLines != 2 {
+		t.Fatalf("error lines = %d, want 2", errLines)
+	}
+	if trailer == nil {
+		t.Fatal("stream ended without a completion trailer")
+	}
+	if trailer.Cells != 2 || trailer.Errors != 2 {
+		t.Fatalf("trailer = %+v, want 2 cells, 2 errors", *trailer)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(metrics), "cachecraft_sweep_cell_errors_total 2\n") {
+		t.Fatalf("sweep cell errors not counted:\n%s", metrics)
 	}
 }
 

@@ -48,10 +48,17 @@ func (h *eventHeap) Pop() any {
 // Engine owns simulated time. Components schedule callbacks with At/After
 // and the engine runs them in deterministic order.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
+	now      Cycle
+	seq      uint64
+	events   eventHeap
+	stepHook func(at Cycle)
 }
+
+// SetStepHook installs an observer called once per Step with the cycle of
+// the event about to run, before time advances. It exists for the
+// invariant-audit layer (tick-monotonicity checking); a nil hook (the
+// default) costs one predictable branch per event.
+func (e *Engine) SetStepHook(fn func(at Cycle)) { e.stepHook = fn }
 
 // NewEngine returns an engine positioned at cycle 0 with an empty queue.
 func NewEngine() *Engine {
@@ -87,6 +94,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(queuedEvent)
+	if e.stepHook != nil {
+		e.stepHook(ev.at)
+	}
 	e.now = ev.at
 	ev.fn(e.now)
 	return true

@@ -80,10 +80,14 @@ func EncodeRecord(rec Record) (body []byte, sum string, err error) {
 	return body, hex.EncodeToString(h[:]), nil
 }
 
-// Put writes the record under its own fingerprint, atomically: the bytes
-// are staged in a tempfile in the destination directory and renamed into
-// place, so readers never observe a partial record and concurrent writers
-// of the same fingerprint harmlessly race to install identical content.
+// Put writes the record under its own fingerprint, atomically and
+// durably: the bytes are staged in a tempfile in the destination
+// directory, fsynced, renamed into place, and the directory itself is
+// fsynced. Readers never observe a partial record, concurrent writers of
+// the same fingerprint harmlessly race to install identical content, and
+// a crash right after Put returns cannot leave the entry half-written or
+// the rename unjournalled — the store either serves the complete record
+// or misses.
 func (s *Store) Put(rec Record) error {
 	if rec.Fingerprint == "" {
 		return fmt.Errorf("store: record has no fingerprint")
@@ -105,6 +109,12 @@ func (s *Store) Put(rec Record) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	_, werr := tmp.Write(append(data, '\n'))
+	if werr == nil {
+		// Flush the contents before the rename publishes the name: without
+		// this a crash can journal the rename but not the data, leaving a
+		// complete-looking entry full of zeros.
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
@@ -119,7 +129,26 @@ func (s *Store) Put(rec Record) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: write %s: %w", rec.Fingerprint, werr)
 	}
+	// The rename itself lives in the parent directory's metadata; fsync it
+	// so the entry survives a crash after Put reports success.
+	if err := syncDir(filepath.Dir(dst)); err != nil {
+		return fmt.Errorf("store: write %s: %w", rec.Fingerprint, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // get loads, checksums, and decodes the record for fp. Any failure —

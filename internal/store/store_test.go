@@ -86,6 +86,67 @@ func TestPutGetRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReopenedStoreNeverServesPartialEnvelope models the crash-recovery
+// contract Put's fsync discipline exists for: whatever prefix of the
+// envelope bytes reached disk before a crash — including a
+// complete-looking file of the right length whose tail was lost, and the
+// pathological all-zeros file a data-less journalled rename used to be
+// able to leave — a fresh handle on the directory must treat the entry as
+// a miss, never serve a partial record, and allow a clean rewrite.
+func TestReopenedStoreNeverServesPartialEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint(config.Quick(), "stream", "none")
+	rec := record(fp, 11)
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(s.path(fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cuts stop at len-2: the final byte is the trailing newline, which is
+	// not part of the envelope — a file missing only it is still complete.
+	for _, cut := range []int{0, 1, len(full) / 4, len(full) / 2, len(full) - 2} {
+		if err := os.WriteFile(s.path(fp), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := reopened.Get(fp); ok {
+			t.Fatalf("reopened store served a %d/%d-byte partial envelope", cut, len(full))
+		}
+		if _, _, ok := reopened.GetRaw(fp); ok {
+			t.Fatalf("GetRaw served a %d/%d-byte partial envelope", cut, len(full))
+		}
+	}
+	// Right length, zeroed contents (rename journalled, data lost).
+	if err := os.WriteFile(s.path(fp), make([]byte, len(full)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reopened.Get(fp); ok {
+		t.Fatal("reopened store served a zero-filled envelope")
+	}
+	// The damaged entry must be rewritable.
+	if err := reopened.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reopened.Get(fp)
+	if !ok || !reflect.DeepEqual(got, rec) {
+		t.Fatal("rewrite after torn entry did not round-trip")
+	}
+}
+
 func TestGetMissesOnAbsent(t *testing.T) {
 	s := mustOpen(t)
 	if _, ok := s.Get(Fingerprint(config.Quick(), "stream", "none")); ok {

@@ -122,9 +122,30 @@ func newBase(name string, p Params) base {
 		name:      name,
 		footprint: p.FootprintBytes,
 		limit:     p.Accesses,
-		rng:       rand.New(rand.NewSource(p.Seed*1000003 + int64(p.SMID)*7919)),
+		rng:       rand.New(rand.NewSource(streamSeed(p.Seed, p.SMID))),
 		pcBase:    uint64(p.SMID) << 32,
 	}
+}
+
+// streamSeed derives an SM-private RNG seed. A linear combination such as
+// Seed*K1 + SMID*K2 is trivially collision-prone — (Seed=K2, SMID=0) and
+// (Seed=0, SMID=K1) produce identical streams, silently correlating SMs
+// across supposedly independent runs — so both inputs pass through a
+// splitmix64-style finalizer instead.
+func streamSeed(seed int64, smID int) int64 {
+	h := mix64(uint64(seed))
+	h = mix64(h ^ (uint64(smID)+1)*0x9e3779b97f4a7c15)
+	return int64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 func (b *base) Name() string      { return b.name }

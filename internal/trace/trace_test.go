@@ -108,6 +108,56 @@ func TestDeterministicStreams(t *testing.T) {
 	}
 }
 
+// TestStreamSeedNoLinearCollisions is the regression test for the old
+// RNG derivation Seed*1000003 + SMID*7919, under which distinct
+// (Seed, SMID) pairs landed on the same RNG stream — e.g. (7919, 0) and
+// (0, 1000003) both mapped to 7919*1000003, so two supposedly independent
+// experiments replayed identical randomness. The splitmix64-mixed
+// derivation must separate those pairs and stay collision-free across a
+// dense grid of nearby seeds and SM ids.
+func TestStreamSeedNoLinearCollisions(t *testing.T) {
+	if streamSeed(7919, 0) == streamSeed(0, 1000003) {
+		t.Fatal("known linear-collision pair (7919,0)/(0,1000003) still collides")
+	}
+	seen := make(map[int64][2]int64)
+	for seed := int64(-64); seed <= 64; seed++ {
+		for smID := 0; smID < 128; smID++ {
+			s := streamSeed(seed, smID)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("streamSeed collision: (%d,%d) and (%d,%d) → %d",
+					prev[0], prev[1], seed, smID, s)
+			}
+			seen[s] = [2]int64{seed, int64(smID)}
+		}
+	}
+	// The collision must also be visible at the workload level: the two
+	// once-colliding parameter sets must now generate different streams.
+	collect := func(seed int64, smID int) []uint64 {
+		p := Params{SMID: smID, NumSMs: smID + 1, Seed: seed, Accesses: 50, FootprintBytes: 1 << 20}
+		w, err := Build("random", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for {
+			a, ok := w.Next()
+			if !ok {
+				break
+			}
+			out = append(out, a.Addrs...)
+		}
+		return out
+	}
+	a, b := collect(7919, 0), collect(0, 1000003)
+	same := len(a) == len(b)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == b[i]
+	}
+	if same {
+		t.Fatal("once-colliding parameter pairs still generate identical address streams")
+	}
+}
+
 func TestSMPartitioningDiffers(t *testing.T) {
 	// Different SMs must not replay identical address streams (except by
 	// coincidence); check the first access differs for stream-style

@@ -13,7 +13,15 @@ const Module = "cachecraft"
 // store fingerprint, so stale results from older simulator logic can
 // never be served as hits. Pure refactors and harness changes do not
 // require a bump.
-const SimRevision = "r3"
+//
+// History:
+//
+//	r4: per-SM workload RNG streams derive from a splitmix64 mix instead
+//	    of the collision-prone linear form; CacheCraft's write-buffer
+//	    drain flushes in address order instead of map order; zero-latency
+//	    ECC decodes complete inline instead of through the event queue.
+//	r3: unified telemetry release.
+const SimRevision = "r4"
 
-// String returns the combined identity, e.g. "cachecraft@r3".
+// String returns the combined identity, e.g. "cachecraft@r4".
 func String() string { return Module + "@" + SimRevision }

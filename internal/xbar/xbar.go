@@ -50,7 +50,19 @@ type Crossbar struct {
 	inject    []*sim.ThrottledPort
 	eject     []*sim.ThrottledPort
 	bisection *sim.ThrottledPort
+	hook      func(at, deliver sim.Cycle, src, dst, bytes int)
 }
+
+// SetHook installs an observer called once per Transfer with the injection
+// cycle, the computed delivery cycle, and the endpoints. It exists for the
+// invariant-audit layer; a nil hook (the default) costs one branch per
+// transfer.
+func (x *Crossbar) SetHook(fn func(at, deliver sim.Cycle, src, dst, bytes int)) {
+	x.hook = fn
+}
+
+// Latency reports the configured fabric traversal latency.
+func (x *Crossbar) Latency() sim.Cycle { return x.cfg.Latency }
 
 // New builds a crossbar. It panics on an invalid configuration (static
 // setup, not runtime input).
@@ -91,7 +103,11 @@ func (x *Crossbar) Transfer(at sim.Cycle, src, dst, bytes int) sim.Cycle {
 	if te := x.eject[dst].Transfer(at, bytes); te > t {
 		t = te
 	}
-	return t + x.cfg.Latency
+	deliver := t + x.cfg.Latency
+	if x.hook != nil {
+		x.hook(at, deliver, src, dst, bytes)
+	}
+	return deliver
 }
 
 // InjectUtilization reports a source port's utilization over elapsed
