@@ -92,6 +92,17 @@ type Cache struct {
 	sectorsPerLine int
 	clock          uint64
 	Stats          *stats.Counters
+
+	// Pre-resolved counter handles for the per-access hot path. They
+	// resolve lazily so the Stats creation order still follows first touch.
+	stAccesses       stats.Handle
+	stHits           stats.Handle
+	stMisses         stats.Handle
+	stSectorMisses   stats.Handle
+	stSectorFills    stats.Handle
+	stLineFills      stats.Handle
+	stEvictions      stats.Handle
+	stDirtyEvictions stats.Handle
 }
 
 // Outcome classifies a lookup.
@@ -149,7 +160,7 @@ func New(cfg Config) *Cache {
 	if setBits == 0 {
 		setBits = 1 // avoid zero shifts in the hash fold
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:            cfg,
 		sets:           sets,
 		setsMask:       uint64(numSets - 1),
@@ -157,6 +168,15 @@ func New(cfg Config) *Cache {
 		sectorsPerLine: cfg.LineBytes / cfg.SectorBytes,
 		Stats:          stats.NewCounters(),
 	}
+	c.stAccesses = c.Stats.Handle("accesses")
+	c.stHits = c.Stats.Handle("hits")
+	c.stMisses = c.Stats.Handle("misses")
+	c.stSectorMisses = c.Stats.Handle("sector_misses")
+	c.stSectorFills = c.Stats.Handle("sector_fills")
+	c.stLineFills = c.Stats.Handle("line_fills")
+	c.stEvictions = c.Stats.Handle("evictions")
+	c.stDirtyEvictions = c.Stats.Handle("dirty_evictions")
+	return c
 }
 
 // Config reports the cache's configuration.
@@ -222,15 +242,15 @@ func (c *Cache) Probe(addr uint64) Outcome {
 func (c *Cache) Access(addr uint64, write bool) Outcome {
 	set, tag := c.setAndTag(addr)
 	c.clock++
-	c.Stats.Inc("accesses")
+	c.stAccesses.Inc()
 	w := c.findWay(set, tag)
 	if w < 0 {
-		c.Stats.Inc("misses")
+		c.stMisses.Inc()
 		return Miss
 	}
 	ln := &c.sets[set][w]
 	if ln.vmask&c.SectorMask(addr) == 0 {
-		c.Stats.Inc("sector_misses")
+		c.stSectorMisses.Inc()
 		return SectorMiss
 	}
 	ln.stamp = c.clock
@@ -238,7 +258,7 @@ func (c *Cache) Access(addr uint64, write bool) Outcome {
 	if write {
 		ln.dmask |= c.SectorMask(addr)
 	}
-	c.Stats.Inc("hits")
+	c.stHits.Inc()
 	return Hit
 }
 
@@ -248,6 +268,17 @@ func (c *Cache) Access(addr uint64, write bool) Outcome {
 // displaced. Filling sectors that are already present leaves their dirty
 // bits intact (a fill never cleans newer data).
 func (c *Cache) Fill(lineAddr uint64, sectorMask, dirtyMask uint64) *Eviction {
+	var ev Eviction
+	if c.FillInto(lineAddr, sectorMask, dirtyMask, &ev) {
+		return &ev
+	}
+	return nil
+}
+
+// FillInto is Fill writing any victim into ev (which callers can keep on
+// the stack and reuse); it reports whether a valid line was displaced. ev
+// is left unchanged when the fill evicts nothing.
+func (c *Cache) FillInto(lineAddr uint64, sectorMask, dirtyMask uint64, ev *Eviction) bool {
 	if lineAddr%uint64(c.cfg.LineBytes) != 0 {
 		panic(fmt.Sprintf("cache %q: misaligned fill %#x", c.cfg.Name, lineAddr))
 	}
@@ -261,22 +292,23 @@ func (c *Cache) Fill(lineAddr uint64, sectorMask, dirtyMask uint64) *Eviction {
 		ln.dmask |= dirtyMask & sectorMask
 		ln.stamp = c.clock
 		if newSectors != 0 {
-			c.Stats.Inc("sector_fills")
+			c.stSectorFills.Inc()
 		}
-		return nil
+		return false
 	}
 	victim := c.chooseVictim(set)
 	ln := &c.sets[set][victim]
-	var ev *Eviction
+	evicted := false
 	if ln.valid {
-		c.Stats.Inc("evictions")
-		ev = &Eviction{
+		c.stEvictions.Inc()
+		evicted = true
+		*ev = Eviction{
 			LineAddr:  c.lineAddrOf(set, ln.tag),
 			ValidMask: ln.vmask,
 			DirtyMask: ln.dmask,
 		}
 		if ln.dmask != 0 {
-			c.Stats.Inc("dirty_evictions")
+			c.stDirtyEvictions.Inc()
 		}
 	}
 	*ln = line{
@@ -287,8 +319,8 @@ func (c *Cache) Fill(lineAddr uint64, sectorMask, dirtyMask uint64) *Eviction {
 		stamp: c.clock,
 		rrpv:  maxRRPV - 1, // SRRIP long re-reference insertion
 	}
-	c.Stats.Inc("line_fills")
-	return ev
+	c.stLineFills.Inc()
+	return evicted
 }
 
 func (c *Cache) lineAddrOf(_ uint64, tag uint64) uint64 {

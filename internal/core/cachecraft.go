@@ -24,6 +24,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"cachecraft/internal/cache"
@@ -370,24 +371,27 @@ func (c *CacheCraft) reconstruct(now sim.Cycle, lineAddr uint64, demandMask uint
 func (c *CacheCraft) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
 	env := c.env
 	geo := env.Map.Geometry()
-	sectors := make([]uint64, 0, geo.SectorsPerLine())
+	spl := geo.SectorsPerLine()
+	mask &= uint64(1)<<spl - 1
 	neededMask := uint64(0)
-	for s := 0; s < geo.SectorsPerLine(); s++ {
+	for s := 0; s < spl; s++ {
 		if mask&(1<<s) != 0 {
-			sa := lineAddr + uint64(s*geo.SectorBytes)
-			sectors = append(sectors, sa)
-			neededMask |= 1 << c.granuleSectorIndex(sa)
+			neededMask |= 1 << c.granuleSectorIndex(lineAddr+uint64(s*geo.SectorBytes))
 		}
 	}
 	finish := func(at sim.Cycle) { env.FinishDecode(at, lineAddr, done) }
-	remaining := len(sectors) + 1
+	remaining := bits.OnesCount64(mask) + 1
 	join := func(at sim.Cycle) {
 		remaining--
 		if remaining == 0 {
 			finish(at)
 		}
 	}
-	for _, sa := range sectors {
+	for s := 0; s < spl; s++ {
+		if mask&(1<<s) == 0 {
+			continue
+		}
+		sa := lineAddr + uint64(s*geo.SectorBytes)
 		if waiters, ok := c.reconInFlight[sa]; ok {
 			// The sector is already on its way as a reconstruction; merge.
 			c.reconInFlight[sa] = append(waiters, join)

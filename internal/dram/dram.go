@@ -77,6 +77,7 @@ func DefaultConfig() Config {
 type pendingReq struct {
 	req     mem.Request
 	arrival sim.Cycle
+	row     int64 // decoded once at submit; FR-FCFS scans compare it often
 }
 
 // bank holds its own FIFO request queue (with a head index so dequeues are
@@ -99,7 +100,12 @@ func (b *bank) removeAt(i int) pendingReq {
 	copy(b.queue[b.head+1:i+1], b.queue[b.head:i])
 	b.queue[b.head] = pendingReq{}
 	b.head++
-	if b.head > 1024 && b.head*2 > len(b.queue) {
+	if b.head == len(b.queue) {
+		// Empty: rewind so pushes reuse the slots instead of growing the
+		// backing array forever.
+		b.queue = b.queue[:0]
+		b.head = 0
+	} else if b.head > 1024 && b.head*2 > len(b.queue) {
 		n := copy(b.queue, b.queue[b.head:])
 		b.queue = b.queue[:n]
 		b.head = 0
@@ -145,6 +151,19 @@ type DRAM struct {
 	hook    Hook
 	Stats   *stats.Counters
 	LatHist *stats.Histogram
+
+	// Pre-resolved counter handles for the per-request hot path (lazy, so
+	// the Stats creation order still follows first touch). stClassBytes is
+	// indexed by mem.Class and avoids building "bytes_<class>" strings on
+	// every submit.
+	stRequests     stats.Handle
+	stBytesRead    stats.Handle
+	stBytesWritten stats.Handle
+	stRowHits      stats.Handle
+	stRowMisses    stats.Handle
+	stRowConflicts stats.Handle
+	stRefreshes    stats.Handle
+	stClassBytes   []stats.Handle
 }
 
 // SetHook installs a scheduling observer (nil = off, one branch per
@@ -162,6 +181,19 @@ func New(eng *sim.Engine, cfg Config) *DRAM {
 		eng:     eng,
 		Stats:   stats.NewCounters(),
 		LatHist: stats.NewHistogram(64, 128, 256, 512, 1024, 2048),
+	}
+	d.stRequests = d.Stats.Handle("requests")
+	d.stBytesRead = d.Stats.Handle("bytes_read")
+	d.stBytesWritten = d.Stats.Handle("bytes_written")
+	d.stRowHits = d.Stats.Handle("row_hits")
+	d.stRowMisses = d.Stats.Handle("row_misses")
+	d.stRowConflicts = d.Stats.Handle("row_conflicts")
+	d.stRefreshes = d.Stats.Handle("refreshes")
+	for _, cl := range mem.Classes() {
+		for int(cl) >= len(d.stClassBytes) {
+			d.stClassBytes = append(d.stClassBytes, stats.Handle{})
+		}
+		d.stClassBytes[cl] = d.Stats.Handle("bytes_" + cl.String())
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		ch := &channel{id: i, bus: sim.NewResource(fmt.Sprintf("dram-ch%d", i)), nextRefresh: cfg.TREFI}
@@ -196,16 +228,20 @@ func (d *DRAM) route(addr uint64) (ch, bk int, row int64) {
 func (d *DRAM) Submit(now sim.Cycle, req mem.Request) {
 	ch, bk, row := d.route(req.Addr)
 	c := d.chans[ch]
-	c.banks[bk].push(pendingReq{req: req, arrival: now})
+	c.banks[bk].push(pendingReq{req: req, arrival: now, row: row})
 	if d.hook != nil {
 		d.hook.Submitted(now, req, ch, bk, row)
 	}
-	d.Stats.Inc("requests")
-	d.Stats.Add("bytes_"+req.Class.String(), uint64(req.Bytes))
-	if req.Write {
-		d.Stats.Add("bytes_written", uint64(req.Bytes))
+	d.stRequests.Inc()
+	if int(req.Class) < len(d.stClassBytes) {
+		d.stClassBytes[req.Class].Add(uint64(req.Bytes))
 	} else {
-		d.Stats.Add("bytes_read", uint64(req.Bytes))
+		d.Stats.Add("bytes_"+req.Class.String(), uint64(req.Bytes))
+	}
+	if req.Write {
+		d.stBytesWritten.Add(uint64(req.Bytes))
+	} else {
+		d.stBytesRead.Add(uint64(req.Bytes))
 	}
 	d.arm(c, now)
 }
@@ -223,14 +259,22 @@ func (d *DRAM) arm(c *channel, at sim.Cycle) {
 	c.armed = true
 	c.armedAt = at
 	c.armGen++
-	gen := c.armGen
-	d.eng.At(at, func(now sim.Cycle) {
-		if gen != c.armGen {
-			return // superseded by an earlier arm
-		}
-		c.armed = false
-		d.service(c, now)
-	})
+	d.eng.Post(at, (*armHandler)(d), uint64(uint32(c.id)), c.armGen)
+}
+
+// armHandler runs a channel's scheduling step as a pooled event: a0 is the
+// channel index, a1 the arming generation (a stale generation means an
+// earlier re-arm superseded this wake).
+type armHandler DRAM
+
+func (h *armHandler) OnEvent(now sim.Cycle, a0, a1 uint64) {
+	d := (*DRAM)(h)
+	c := d.chans[a0]
+	if a1 != c.armGen {
+		return // superseded by an earlier arm
+	}
+	c.armed = false
+	d.service(c, now)
 }
 
 // QueueLen reports the total queued requests (for backpressure tests).
@@ -261,14 +305,13 @@ func (d *DRAM) service(c *channel, now sim.Cycle) {
 	b := &c.banks[bk]
 	idx := b.head
 	for i := b.head; i < len(b.queue) && i < b.head+d.cfg.SchedulerWindow; i++ {
-		_, _, row := d.route(b.queue[i].req.Addr)
-		if row == b.openRow {
+		if b.queue[i].row == b.openRow {
 			idx = i
 			break
 		}
 	}
 	pr := b.removeAt(idx)
-	_, _, row := d.route(pr.req.Addr)
+	row := pr.row
 	if d.hook != nil {
 		d.hook.Serviced(now, pr.req, c.id, bk, row, b.openRow, b.readyAt)
 	}
@@ -281,13 +324,13 @@ func (d *DRAM) service(c *channel, now sim.Cycle) {
 	var colIssued sim.Cycle
 	switch {
 	case b.openRow == row:
-		d.Stats.Inc("row_hits")
+		d.stRowHits.Inc()
 		colIssued = now
 	case b.openRow < 0:
-		d.Stats.Inc("row_misses")
+		d.stRowMisses.Inc()
 		colIssued = now + d.cfg.TRCD
 	default:
-		d.Stats.Inc("row_conflicts")
+		d.stRowConflicts.Inc()
 		colIssued = now + d.cfg.TRP + d.cfg.TRCD
 	}
 	b.openRow = row
@@ -331,7 +374,7 @@ func (d *DRAM) maybeRefresh(c *channel, now sim.Cycle) {
 			b.openRow = -1
 		}
 		c.nextRefresh += d.cfg.TREFI
-		d.Stats.Inc("refreshes")
+		d.stRefreshes.Inc()
 		if d.hook != nil {
 			d.hook.Refreshed(now, c.id)
 		}
@@ -353,8 +396,7 @@ func (d *DRAM) pickBank(c *channel, now sim.Cycle) int {
 		// Does this bank's window contain a row hit?
 		hit := false
 		for i := b.head; i < len(b.queue) && i < b.head+d.cfg.SchedulerWindow; i++ {
-			_, _, row := d.route(b.queue[i].req.Addr)
-			if row == b.openRow {
+			if b.queue[i].row == b.openRow {
 				hit = true
 				break
 			}

@@ -1,0 +1,103 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEncodeDecodeIntoZeroAllocs pins the allocation-free codec contract:
+// EncodeInto with a pre-sized destination and DecodeInto on a clean
+// codeword must not allocate, for every sector codec.
+func TestEncodeDecodeIntoZeroAllocs(t *testing.T) {
+	secded, err := NewSECDEDSector(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secdaec, err := NewSECDAECSector(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRSSector(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipkill, err := NewChipkill(32, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, codec := range []SectorCodec{secded, secdaec, rs, chipkill} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			sector := make([]byte, codec.SectorBytes())
+			rand.New(rand.NewSource(7)).Read(sector)
+			red := codec.Encode(sector)
+			dst := make([]byte, 0, codec.RedundancyBytes())
+			allocs := testing.AllocsPerRun(200, func() {
+				dst = codec.EncodeInto(dst[:0], sector)
+				if res := codec.DecodeInto(sector, red); res != OK {
+					t.Fatalf("clean decode = %v", res)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("EncodeInto+DecodeInto allocated %.1f times per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestTaggedEncodeIntoZeroAllocs covers the tagged codec, whose encode
+// feeds the virtual tag++data word segment-wise instead of concatenating.
+func TestTaggedEncodeIntoZeroAllocs(t *testing.T) {
+	codec, err := NewTagged(32, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32)
+	rand.New(rand.NewSource(7)).Read(data)
+	tag := []byte{0xA5, 0x3C}
+	want := codec.Encode(data, tag)
+	dst := make([]byte, 0, codec.ParityBytes())
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = codec.EncodeInto(dst[:0], data, tag)
+	})
+	if allocs != 0 {
+		t.Fatalf("Tagged.EncodeInto allocated %.1f times per op, want 0", allocs)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatal("EncodeInto parity differs from Encode")
+		}
+	}
+}
+
+// TestEncodeIntoMatchesEncode cross-checks the append-style API against
+// the allocating wrapper on random sectors, including appending after
+// existing bytes.
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	secded, _ := NewSECDEDSector(32, 64)
+	secdaec, _ := NewSECDAECSector(32, 64)
+	rs, _ := NewRSSector(32, 4)
+	chipkill, _ := NewChipkill(32, 4, 9)
+	rng := rand.New(rand.NewSource(11))
+	for _, codec := range []SectorCodec{secded, secdaec, rs, chipkill} {
+		for trial := 0; trial < 50; trial++ {
+			sector := make([]byte, codec.SectorBytes())
+			rng.Read(sector)
+			want := codec.Encode(sector)
+			prefix := []byte{0xEE, 0xFF}
+			got := codec.EncodeInto(append([]byte(nil), prefix...), sector)
+			if len(got) != len(prefix)+len(want) {
+				t.Fatalf("%s: EncodeInto length %d, want %d", codec.Name(), len(got), len(prefix)+len(want))
+			}
+			for i := range prefix {
+				if got[i] != prefix[i] {
+					t.Fatalf("%s: EncodeInto clobbered existing bytes", codec.Name())
+				}
+			}
+			for i := range want {
+				if got[len(prefix)+i] != want[i] {
+					t.Fatalf("%s: trial %d redundancy byte %d differs", codec.Name(), trial, i)
+				}
+			}
+		}
+	}
+}

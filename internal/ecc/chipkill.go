@@ -70,9 +70,19 @@ func (c *Chipkill) DeviceSymbols(dev int) []int {
 // Encode computes the parity for a sector.
 func (c *Chipkill) Encode(sector []byte) []byte { return c.rs.Encode(sector) }
 
+// EncodeInto appends the sector's parity bytes to dst and returns the
+// extended slice; it does not allocate when dst has capacity.
+func (c *Chipkill) EncodeInto(dst, sector []byte) []byte { return c.rs.EncodeInto(dst, sector) }
+
 // Decode is blind decoding (no failed-device knowledge): corrects up to
 // t random symbol errors.
 func (c *Chipkill) Decode(sector, redundancy []byte) Result {
+	return c.rs.Decode(sector, redundancy)
+}
+
+// DecodeInto is Decode under the allocation-free-decode naming shared by
+// all sector codecs; the no-error path performs no allocation.
+func (c *Chipkill) DecodeInto(sector, redundancy []byte) Result {
 	return c.rs.Decode(sector, redundancy)
 }
 

@@ -52,9 +52,17 @@ type SectorCodec interface {
 	// Encode computes the redundancy for a sector. len(sector) must equal
 	// SectorBytes; the returned slice has RedundancyBytes bytes.
 	Encode(sector []byte) []byte
+	// EncodeInto appends the sector's redundancy to dst and returns the
+	// extended slice. It performs no allocation when dst already has
+	// RedundancyBytes of spare capacity; Encode is a thin wrapper over it.
+	EncodeInto(dst, sector []byte) []byte
 	// Decode verifies sector against redundancy, correcting both in place
 	// when possible.
 	Decode(sector, redundancy []byte) Result
+	// DecodeInto is the allocation-free decode implementation behind
+	// Decode: per-sector calls on clean (error-free) codewords allocate
+	// nothing; locating an actual error may allocate scratch.
+	DecodeInto(sector, redundancy []byte) Result
 }
 
 // RedundancyRatio reports redundancy bytes per data byte for a codec, e.g.

@@ -14,7 +14,16 @@ type SECDED struct {
 	r       int   // Hamming check bits (excluding overall parity)
 	n       int   // codeword bits excluding overall parity = k + r
 	dataPos []int // codeword position (1-based) of each data bit
+
+	// Per-byte syndrome tables: entry [b][v] folds a whole byte of input
+	// into the syndrome at once instead of testing eight bits. The low 31
+	// bits carry the syndrome XOR, bit 31 the overall-parity XOR.
+	dataTbl [][256]uint32
+	chkTbl  [][256]uint32
 }
+
+// synParity packs an overall-parity flip into a table entry.
+const synParity = 1 << 31
 
 // NewSECDED builds a SEC-DED code for the given number of data bits.
 // It panics if dataBits is not positive; code construction is static
@@ -34,7 +43,44 @@ func NewSECDED(dataBits int) *SECDED {
 			c.dataPos = append(c.dataPos, pos)
 		}
 	}
+	c.buildTables()
 	return c
+}
+
+// buildTables precomputes the per-byte syndrome folds for data bytes and
+// check bytes.
+func (c *SECDED) buildTables() {
+	c.dataTbl = make([][256]uint32, (c.k+7)/8)
+	for b := range c.dataTbl {
+		for v := 0; v < 256; v++ {
+			var e uint32
+			for j := 0; j < 8; j++ {
+				i := b*8 + j
+				if i < c.k && v>>j&1 == 1 {
+					e ^= uint32(c.dataPos[i]) ^ synParity
+				}
+			}
+			c.dataTbl[b][v] = e
+		}
+	}
+	c.chkTbl = make([][256]uint32, c.CheckBytes())
+	for b := range c.chkTbl {
+		for v := 0; v < 256; v++ {
+			var e uint32
+			for j := 0; j < 8; j++ {
+				i := b*8 + j
+				if v>>j&1 == 0 {
+					continue
+				}
+				if i < c.r {
+					e ^= uint32(1)<<i ^ synParity
+				} else if i == c.r {
+					e ^= synParity // overall parity bit
+				}
+			}
+			c.chkTbl[b][v] = e
+		}
+	}
 }
 
 // DataBits reports the data width in bits.
@@ -55,10 +101,20 @@ func setBit(b []byte, i, v int)  { b[i>>3] = b[i>>3]&^(1<<(uint(i)&7)) | byte(v)
 // DataBits bits. The returned slice has CheckBytes bytes: Hamming check bit
 // i in bit position i, overall parity in bit position r.
 func (c *SECDED) Encode(data []byte) []byte {
+	return c.EncodeInto(make([]byte, 0, c.CheckBytes()), data)
+}
+
+// EncodeInto appends the check bytes for data to dst and returns the
+// extended slice. It does not allocate when dst has capacity.
+func (c *SECDED) EncodeInto(dst, data []byte) []byte {
 	if len(data)*8 < c.k {
 		panic(fmt.Sprintf("ecc: SECDED encode needs %d bits, got %d", c.k, len(data)*8))
 	}
-	check := make([]byte, c.CheckBytes())
+	base := len(dst)
+	for i := 0; i < c.CheckBytes(); i++ {
+		dst = append(dst, 0)
+	}
+	check := dst[base:]
 	syn, overall := c.synFromData(data, check)
 	// Solve for check bits so the syndrome becomes zero: check bit i covers
 	// exactly the positions with bit i set, and sits at position 2^i which
@@ -73,33 +129,30 @@ func (c *SECDED) Encode(data []byte) []byte {
 	if overall == 1 {
 		setBit(check, c.r, 1)
 	}
-	return check
+	return dst
 }
 
 // synFromData folds the data and current check bits into the Hamming
-// syndrome and overall parity.
+// syndrome and overall parity, one table-indexed byte at a time. Bits
+// beyond DataBits (in data) or the overall parity bit (in check) are
+// ignored, matching the bit-addressed definition of the code.
 func (c *SECDED) synFromData(data, check []byte) (syn int, overall int) {
-	for i, pos := range c.dataPos {
-		if getBit(data, i) == 1 {
-			syn ^= pos
-			overall ^= 1
-		}
+	var e uint32
+	for b := range c.dataTbl {
+		e ^= c.dataTbl[b][data[b]]
 	}
-	for i := 0; i < c.r; i++ {
-		if getBit(check, i) == 1 {
-			syn ^= 1 << i
-			overall ^= 1
-		}
+	for b := range c.chkTbl {
+		e ^= c.chkTbl[b][check[b]]
 	}
-	if getBit(check, c.r) == 1 {
-		overall ^= 1
-	}
-	return syn, overall
+	return int(e &^ synParity), int(e >> 31)
 }
 
 // Decode verifies data against check, correcting a single-bit error in
 // either in place. It reports OK, Corrected, or Detected (double error).
-func (c *SECDED) Decode(data, check []byte) Result {
+func (c *SECDED) Decode(data, check []byte) Result { return c.DecodeInto(data, check) }
+
+// DecodeInto is the allocation-free decode implementation backing Decode.
+func (c *SECDED) DecodeInto(data, check []byte) Result {
 	if len(data)*8 < c.k || len(check) < c.CheckBytes() {
 		panic("ecc: SECDED decode buffer too small")
 	}
@@ -192,20 +245,29 @@ func (s *SECDEDSector) RedundancyBytes() int { return s.words * s.code.CheckByte
 
 // Encode computes per-word check bytes, concatenated in word order.
 func (s *SECDEDSector) Encode(sector []byte) []byte {
+	return s.EncodeInto(make([]byte, 0, s.RedundancyBytes()), sector)
+}
+
+// EncodeInto appends the sector's check bytes to dst and returns the
+// extended slice; it does not allocate when dst has capacity.
+func (s *SECDEDSector) EncodeInto(dst, sector []byte) []byte {
 	if len(sector) != s.sectorSize {
 		panic(fmt.Sprintf("ecc: sector size %d, want %d", len(sector), s.sectorSize))
 	}
-	out := make([]byte, 0, s.RedundancyBytes())
 	for w := 0; w < s.words; w++ {
-		word := sector[w*s.wordBytes : (w+1)*s.wordBytes]
-		out = append(out, s.code.Encode(word)...)
+		dst = s.code.EncodeInto(dst, sector[w*s.wordBytes:(w+1)*s.wordBytes])
 	}
-	return out
+	return dst
 }
 
 // Decode verifies each word, correcting in place. The sector result is the
 // worst per-word result (Detected > Corrected > OK).
 func (s *SECDEDSector) Decode(sector, redundancy []byte) Result {
+	return s.DecodeInto(sector, redundancy)
+}
+
+// DecodeInto is the allocation-free decode implementation backing Decode.
+func (s *SECDEDSector) DecodeInto(sector, redundancy []byte) Result {
 	if len(sector) != s.sectorSize || len(redundancy) != s.RedundancyBytes() {
 		panic("ecc: SECDEDSector decode buffer size mismatch")
 	}
@@ -214,7 +276,7 @@ func (s *SECDEDSector) Decode(sector, redundancy []byte) Result {
 	for w := 0; w < s.words; w++ {
 		word := sector[w*s.wordBytes : (w+1)*s.wordBytes]
 		chk := redundancy[w*cb : (w+1)*cb]
-		if r := s.code.Decode(word, chk); r > worst {
+		if r := s.code.DecodeInto(word, chk); r > worst {
 			worst = r
 		}
 	}

@@ -10,6 +10,10 @@ type WordCode interface {
 	CheckBytes() int
 	Encode(data []byte) []byte
 	Decode(data, check []byte) Result
+	// EncodeInto appends the check bytes to dst without allocating when dst
+	// has capacity; DecodeInto is the allocation-free decode behind Decode.
+	EncodeInto(dst, data []byte) []byte
+	DecodeInto(data, check []byte) Result
 }
 
 // InterleavedSector protects a sector with consecutive independent
@@ -53,19 +57,29 @@ func (s *InterleavedSector) RedundancyBytes() int { return s.words * s.code.Chec
 
 // Encode computes per-word check bytes, concatenated in word order.
 func (s *InterleavedSector) Encode(sector []byte) []byte {
+	return s.EncodeInto(make([]byte, 0, s.RedundancyBytes()), sector)
+}
+
+// EncodeInto appends the sector's check bytes to dst and returns the
+// extended slice; it does not allocate when dst has capacity.
+func (s *InterleavedSector) EncodeInto(dst, sector []byte) []byte {
 	if len(sector) != s.sectorSize {
 		panic(fmt.Sprintf("ecc: sector size %d, want %d", len(sector), s.sectorSize))
 	}
-	out := make([]byte, 0, s.RedundancyBytes())
 	for w := 0; w < s.words; w++ {
-		out = append(out, s.code.Encode(sector[w*s.wordBytes:(w+1)*s.wordBytes])...)
+		dst = s.code.EncodeInto(dst, sector[w*s.wordBytes:(w+1)*s.wordBytes])
 	}
-	return out
+	return dst
 }
 
 // Decode verifies each word, correcting in place; the sector result is the
 // worst per-word result.
 func (s *InterleavedSector) Decode(sector, redundancy []byte) Result {
+	return s.DecodeInto(sector, redundancy)
+}
+
+// DecodeInto is the allocation-free decode implementation backing Decode.
+func (s *InterleavedSector) DecodeInto(sector, redundancy []byte) Result {
 	if len(sector) != s.sectorSize || len(redundancy) != s.RedundancyBytes() {
 		panic("ecc: interleaved decode buffer size mismatch")
 	}
@@ -74,7 +88,7 @@ func (s *InterleavedSector) Decode(sector, redundancy []byte) Result {
 	for w := 0; w < s.words; w++ {
 		word := sector[w*s.wordBytes : (w+1)*s.wordBytes]
 		chk := redundancy[w*cb : (w+1)*cb]
-		if r := s.code.Decode(word, chk); r > worst {
+		if r := s.code.DecodeInto(word, chk); r > worst {
 			worst = r
 		}
 	}

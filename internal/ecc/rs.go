@@ -13,6 +13,10 @@ import "fmt"
 type RS struct {
 	n, k int
 	gen  []byte // generator polynomial, descending degree, monic
+	// encTbl[f*p : (f+1)*p] is gen[1:] scaled by field element f: the whole
+	// feedback step of the LFSR encoder for one data symbol, precomputed so
+	// Encode does one table row XOR per symbol instead of p multiplies.
+	encTbl []byte
 }
 
 // NewRS constructs an (n,k) Reed–Solomon code. n must be at most 255 and
@@ -26,7 +30,15 @@ func NewRS(n, k int) (*RS, error) {
 	for i := 0; i < n-k; i++ {
 		gen = polyMul(gen, []byte{1, gfAlpha(i)})
 	}
-	return &RS{n: n, k: k, gen: gen}, nil
+	p := n - k
+	encTbl := make([]byte, 256*p)
+	for f := 1; f < 256; f++ {
+		row := encTbl[f*p : (f+1)*p]
+		for j := 0; j < p; j++ {
+			row[j] = gfMul(gen[j+1], byte(f))
+		}
+	}
+	return &RS{n: n, k: k, gen: gen, encTbl: encTbl}, nil
 }
 
 // N reports the codeword length in symbols.
@@ -48,43 +60,76 @@ func (r *RS) Encode(data []byte) []byte {
 	if len(data) != r.k {
 		panic(fmt.Sprintf("ecc: RS encode len %d, want %d", len(data), r.k))
 	}
+	return r.EncodeInto(make([]byte, 0, r.n-r.k), data)
+}
+
+// EncodeInto appends the parity symbols for data (len k) to dst and
+// returns the extended slice. It does not allocate when dst has capacity.
+func (r *RS) EncodeInto(dst, data []byte) []byte {
+	if len(data) != r.k {
+		panic(fmt.Sprintf("ecc: RS encode len %d, want %d", len(data), r.k))
+	}
+	base := len(dst)
 	p := r.n - r.k
-	rem := make([]byte, p)
-	for _, d := range data {
-		factor := d ^ rem[0]
-		copy(rem, rem[1:])
-		rem[p-1] = 0
-		if factor != 0 {
-			for j := 0; j < p; j++ {
-				// gen[0] is the monic leading term; gen[1:] folds in.
-				rem[j] ^= gfMul(r.gen[j+1], factor)
+	for i := 0; i < p; i++ {
+		dst = append(dst, 0)
+	}
+	rem := dst[base:]
+	r.encodeBody(rem, data, nil)
+	return dst
+}
+
+// encodeBody runs the LFSR division over segments a then b, accumulating
+// the remainder into rem (len n-k, zeroed by the caller). Two segments let
+// the tagged codec feed tag++data without concatenating.
+func (r *RS) encodeBody(rem []byte, a, b []byte) {
+	p := r.n - r.k
+	feed := func(data []byte) {
+		for _, d := range data {
+			factor := d ^ rem[0]
+			copy(rem, rem[1:])
+			rem[p-1] = 0
+			if factor != 0 {
+				row := r.encTbl[int(factor)*p:]
+				for j := 0; j < p; j++ {
+					rem[j] ^= row[j]
+				}
 			}
 		}
 	}
-	return rem
+	feed(a)
+	feed(b)
 }
 
 // Syndromes computes the n-k syndromes of the codeword (data ++ parity) and
 // reports whether any is nonzero. Symbol index i carries weight
 // alpha^{(n-1-i)·j} in syndrome j; a zero vector means a valid codeword.
 func (r *RS) Syndromes(data, parity []byte) ([]byte, bool) {
-	cw := make([]byte, 0, r.n)
-	cw = append(cw, data...)
-	cw = append(cw, parity...)
-	return r.syndromes(cw)
+	syn := make([]byte, r.n-r.k)
+	any := r.syndromesInto(syn, data, parity)
+	return syn, any
 }
 
-func (r *RS) syndromes(cw []byte) ([]byte, bool) {
-	p := r.n - r.k
-	syn := make([]byte, p)
+// syndromesInto evaluates the codeword data++parity at the first n-k
+// powers of alpha without materializing the concatenation, writing into
+// syn (len n-k) and reporting whether any syndrome is nonzero.
+func (r *RS) syndromesInto(syn []byte, data, parity []byte) bool {
 	any := false
-	for i := 0; i < p; i++ {
-		syn[i] = polyEval(cw, gfAlpha(i))
-		if syn[i] != 0 {
+	for i := range syn {
+		x := gfAlpha(i)
+		var y byte
+		for _, c := range data {
+			y = gfMul(y, x) ^ c
+		}
+		for _, c := range parity {
+			y = gfMul(y, x) ^ c
+		}
+		syn[i] = y
+		if y != 0 {
 			any = true
 		}
 	}
-	return syn, any
+	return any
 }
 
 // Decode verifies data (len k) against parity (len n-k), correcting up to T
@@ -104,17 +149,20 @@ func (r *RS) DecodeErasures(data, parity []byte, erasures []int) (Result, []int)
 		panic("ecc: RS decode buffer size mismatch")
 	}
 	p := r.n - r.k
-	cw := make([]byte, 0, r.n)
-	cw = append(cw, data...)
-	cw = append(cw, parity...)
-
-	syn, any := r.syndromes(cw)
-	if !any {
+	// The syndrome buffer lives on the stack so the no-error path — the
+	// overwhelmingly common one — does not allocate at all.
+	var synBuf [255]byte
+	syn := synBuf[:p]
+	if !r.syndromesInto(syn, data, parity) {
 		return OK, nil
 	}
 	if len(erasures) > p {
 		return Detected, nil
 	}
+	// From here on an error is being located; allocation is fine.
+	cw := make([]byte, 0, r.n)
+	cw = append(cw, data...)
+	cw = append(cw, parity...)
 
 	// Erasure locator Γ(x) = Π (1 + X_l·x) with X_l = alpha^{n-1-idx},
 	// ascending coefficient order, Γ[0] = 1.
@@ -169,7 +217,7 @@ func (r *RS) DecodeErasures(data, parity []byte, erasures []int) (Result, []int)
 
 	// Re-verify: if syndromes remain nonzero the error exceeded capability
 	// and the "correction" would have been a miscorrection.
-	if _, bad := r.syndromes(cw); bad {
+	if r.syndromesInto(syn, cw[:r.k], cw[r.k:]) {
 		return Detected, nil
 	}
 	copy(data, cw[:r.k])
@@ -308,8 +356,18 @@ func (s *RSSector) RedundancyBytes() int { return s.rs.ParitySymbols() }
 // Encode computes the parity bytes for the sector.
 func (s *RSSector) Encode(sector []byte) []byte { return s.rs.Encode(sector) }
 
+// EncodeInto appends the sector's parity bytes to dst and returns the
+// extended slice; it does not allocate when dst has capacity.
+func (s *RSSector) EncodeInto(dst, sector []byte) []byte { return s.rs.EncodeInto(dst, sector) }
+
 // Decode verifies and corrects the sector in place.
 func (s *RSSector) Decode(sector, redundancy []byte) Result {
+	return s.rs.Decode(sector, redundancy)
+}
+
+// DecodeInto is Decode under the allocation-free-decode naming shared by
+// all sector codecs; the no-error path performs no allocation.
+func (s *RSSector) DecodeInto(sector, redundancy []byte) Result {
 	return s.rs.Decode(sector, redundancy)
 }
 

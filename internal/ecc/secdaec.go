@@ -19,6 +19,11 @@ type SECDAEC struct {
 	n       int      // total bits
 	cols    []uint32 // H-matrix column per codeword position
 	actions map[uint32]daecAction
+
+	// Per-byte syndrome tables: [b][v] is the XOR of the H-columns selected
+	// by byte value v at byte offset b of the data (resp. check) bits.
+	dataTbl [][256]uint32
+	chkTbl  [][256]uint32
 }
 
 type daecAction struct {
@@ -124,7 +129,36 @@ func buildSECDAEC(k, r int) *SECDAEC {
 	for i := 0; i+1 < n; i++ {
 		code.actions[cols[i]^cols[i+1]] = daecAction{first: i, second: i + 1}
 	}
+	code.buildTables()
 	return code
+}
+
+// buildTables precomputes the per-byte H-column folds.
+func (c *SECDAEC) buildTables() {
+	c.dataTbl = make([][256]uint32, (c.k+7)/8)
+	for b := range c.dataTbl {
+		for v := 0; v < 256; v++ {
+			var s uint32
+			for j := 0; j < 8; j++ {
+				if i := b*8 + j; i < c.k && v>>j&1 == 1 {
+					s ^= c.cols[i]
+				}
+			}
+			c.dataTbl[b][v] = s
+		}
+	}
+	c.chkTbl = make([][256]uint32, c.CheckBytes())
+	for b := range c.chkTbl {
+		for v := 0; v < 256; v++ {
+			var s uint32
+			for j := 0; j < 8; j++ {
+				if i := b*8 + j; i < c.r && v>>j&1 == 1 {
+					s ^= c.cols[c.k+i]
+				}
+			}
+			c.chkTbl[b][v] = s
+		}
+	}
 }
 
 // DataBits reports the data width.
@@ -136,28 +170,35 @@ func (c *SECDAEC) CheckBits() int { return c.r }
 // CheckBytes reports redundancy storage in whole bytes.
 func (c *SECDAEC) CheckBytes() int { return (c.r + 7) / 8 }
 
-// syndrome folds data and check bits through the H-matrix.
+// syndrome folds data and check bits through the H-matrix, one
+// table-indexed byte at a time.
 func (c *SECDAEC) syndrome(data, check []byte) uint32 {
 	var s uint32
-	for i := 0; i < c.k; i++ {
-		if getBit(data, i) == 1 {
-			s ^= c.cols[i]
-		}
+	for b := range c.dataTbl {
+		s ^= c.dataTbl[b][data[b]]
 	}
-	for j := 0; j < c.r; j++ {
-		if getBit(check, j) == 1 {
-			s ^= c.cols[c.k+j]
-		}
+	for b := range c.chkTbl {
+		s ^= c.chkTbl[b][check[b]]
 	}
 	return s
 }
 
 // Encode computes the check bits for data (at least DataBits bits).
 func (c *SECDAEC) Encode(data []byte) []byte {
+	return c.EncodeInto(make([]byte, 0, c.CheckBytes()), data)
+}
+
+// EncodeInto appends the check bytes for data to dst and returns the
+// extended slice; it does not allocate when dst has capacity.
+func (c *SECDAEC) EncodeInto(dst, data []byte) []byte {
 	if len(data)*8 < c.k {
 		panic(fmt.Sprintf("ecc: SEC-DAEC encode needs %d bits, got %d", c.k, len(data)*8))
 	}
-	check := make([]byte, c.CheckBytes())
+	base := len(dst)
+	for i := 0; i < c.CheckBytes(); i++ {
+		dst = append(dst, 0)
+	}
+	check := dst[base:]
 	s := c.syndrome(data, check)
 	// Check columns are unit vectors, so check bit j cancels syndrome bit j.
 	for j := 0; j < c.r; j++ {
@@ -165,13 +206,16 @@ func (c *SECDAEC) Encode(data []byte) []byte {
 			setBit(check, j, 1)
 		}
 	}
-	return check
+	return dst
 }
 
 // Decode verifies and corrects in place: any single-bit error, any
 // double-adjacent-bit error. Other patterns with unknown syndromes are
 // detected.
-func (c *SECDAEC) Decode(data, check []byte) Result {
+func (c *SECDAEC) Decode(data, check []byte) Result { return c.DecodeInto(data, check) }
+
+// DecodeInto is the allocation-free decode implementation backing Decode.
+func (c *SECDAEC) DecodeInto(data, check []byte) Result {
 	if len(data)*8 < c.k || len(check) < c.CheckBytes() {
 		panic("ecc: SEC-DAEC decode buffer too small")
 	}

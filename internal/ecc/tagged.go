@@ -90,8 +90,24 @@ func (t *Tagged) TagBytes() int { return t.tagSyms }
 // Encode computes the stored parity for (tag, data). The tag is not stored;
 // only the returned parity bytes are.
 func (t *Tagged) Encode(data, tag []byte) []byte {
-	virtual := t.virtualWord(data, tag)
-	return t.rs.Encode(virtual)
+	return t.EncodeInto(make([]byte, 0, t.rs.ParitySymbols()), data, tag)
+}
+
+// EncodeInto appends the stored parity for (tag, data) to dst and returns
+// the extended slice. The tag++data virtual word is fed to the encoder
+// segment by segment, so no concatenation buffer is built and the call
+// does not allocate when dst has capacity.
+func (t *Tagged) EncodeInto(dst, data, tag []byte) []byte {
+	if len(data) != t.dataLen || len(tag) != t.tagSyms {
+		panic(fmt.Sprintf("ecc: tagged codec wants %dB data and %dB tag, got %dB/%dB",
+			t.dataLen, t.tagSyms, len(data), len(tag)))
+	}
+	base := len(dst)
+	for i := 0; i < t.rs.ParitySymbols(); i++ {
+		dst = append(dst, 0)
+	}
+	t.rs.encodeBody(dst[base:], tag, data)
+	return dst
 }
 
 // Check verifies data and parity under an asserted tag, correcting

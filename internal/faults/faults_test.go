@@ -136,6 +136,14 @@ func (c taggedCodec) SectorBytes() int       { return c.inner.DataBytes() }
 func (c taggedCodec) RedundancyBytes() int   { return c.inner.ParityBytes() }
 func (c taggedCodec) Encode(s []byte) []byte { return c.inner.Encode(s, c.tag) }
 
+func (c taggedCodec) EncodeInto(dst, s []byte) []byte {
+	return c.inner.EncodeInto(dst, s, c.tag)
+}
+
+func (c taggedCodec) DecodeInto(sector, redundancy []byte) ecc.Result {
+	return c.Decode(sector, redundancy)
+}
+
 func (c taggedCodec) Decode(sector, redundancy []byte) ecc.Result {
 	switch c.inner.Check(sector, redundancy, c.tag) {
 	case ecc.TagOK:

@@ -4,8 +4,6 @@
 package gpu
 
 import (
-	"sort"
-
 	"cachecraft/internal/trace"
 )
 
@@ -24,20 +22,53 @@ const FullByteMask = ^uint32(0)
 // requests, ordered by address. Threads writing the same bytes coalesce;
 // accesses spanning sector boundaries contribute to both sectors.
 func Coalesce(a trace.Access, sectorBytes int) []SectorReq {
-	masks := make(map[uint64]uint32)
+	return coalesceInto(make([]SectorReq, 0, 8), a, sectorBytes)
+}
+
+// coalesceInto is Coalesce appending into a reused buffer (pass dst[:0]).
+// Each thread's byte range [addr, addr+Bytes) is split at sector
+// boundaries and merged into the address-sorted request list — the warp's
+// requests stay small, so an insertion into the sorted slice beats the
+// map-then-sort it replaces and allocates nothing.
+func coalesceInto(dst []SectorReq, a trace.Access, sectorBytes int) []SectorReq {
+	sb := uint64(sectorBytes)
 	for _, addr := range a.Addrs {
-		for b := 0; b < a.Bytes; b++ {
-			byteAddr := addr + uint64(b)
-			sector := byteAddr - byteAddr%uint64(sectorBytes)
-			masks[sector] |= 1 << (byteAddr % uint64(sectorBytes))
+		end := addr + uint64(a.Bytes)
+		for addr < end {
+			sector := addr - addr%sb
+			hi := sector + sb
+			if hi > end {
+				hi = end
+			}
+			lo := addr - sector
+			mask := uint32((uint64(1)<<(hi-addr) - 1) << lo)
+			dst = mergeReq(dst, sector, mask)
+			addr = hi
 		}
 	}
-	out := make([]SectorReq, 0, len(masks))
-	for sector, mask := range masks {
-		out = append(out, SectorReq{Addr: sector, ByteMask: mask})
+	return dst
+}
+
+// mergeReq unions mask into the entry for sector, inserting in address
+// order when the sector is new.
+func mergeReq(dst []SectorReq, sector uint64, mask uint32) []SectorReq {
+	lo, hi := 0, len(dst)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if dst[mid].Addr < sector {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
-	return out
+	if lo < len(dst) && dst[lo].Addr == sector {
+		dst[lo].ByteMask |= mask
+		return dst
+	}
+	dst = append(dst, SectorReq{})
+	copy(dst[lo+1:], dst[lo:])
+	dst[lo] = SectorReq{Addr: sector, ByteMask: mask}
+	return dst
 }
 
 // lineGroup collects the sectors of one access that fall in the same
@@ -48,27 +79,28 @@ type lineGroup struct {
 	fullMask   uint64 // sectors completely covered by the warp's bytes
 }
 
-// groupByLine partitions sector requests into per-line groups, ordered by
-// line address.
+// groupByLine partitions sector requests into per-line groups. Requests
+// sorted by address (Coalesce's output order) yield groups ordered by line
+// address.
 func groupByLine(reqs []SectorReq, lineBytes, sectorBytes int) []lineGroup {
-	byLine := make(map[uint64]*lineGroup)
+	return groupByLineInto(make([]lineGroup, 0, 4), reqs, lineBytes, sectorBytes)
+}
+
+// groupByLineInto is groupByLine appending into a reused buffer (pass
+// dst[:0]). Address-sorted requests put each line's sectors in one
+// contiguous run, so grouping is a single linear pass.
+func groupByLineInto(dst []lineGroup, reqs []SectorReq, lineBytes, sectorBytes int) []lineGroup {
 	for _, r := range reqs {
 		la := r.Addr - r.Addr%uint64(lineBytes)
-		g, ok := byLine[la]
-		if !ok {
-			g = &lineGroup{lineAddr: la}
-			byLine[la] = g
-		}
 		idx := (r.Addr % uint64(lineBytes)) / uint64(sectorBytes)
+		if n := len(dst); n == 0 || dst[n-1].lineAddr != la {
+			dst = append(dst, lineGroup{lineAddr: la})
+		}
+		g := &dst[len(dst)-1]
 		g.sectorMask |= 1 << idx
 		if r.ByteMask == FullByteMask {
 			g.fullMask |= 1 << idx
 		}
 	}
-	out := make([]lineGroup, 0, len(byLine))
-	for _, g := range byLine {
-		out = append(out, *g)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].lineAddr < out[j].lineAddr })
-	return out
+	return dst
 }

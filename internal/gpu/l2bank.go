@@ -6,18 +6,33 @@ import (
 	"cachecraft/internal/sim"
 )
 
-// l2Target is one requester waiting on an L2 miss entry.
+// l2Target is one requester waiting on an L2 miss entry, identified by its
+// pooled transaction token.
 type l2Target struct {
 	sectorMask uint64 // the sectors this requester needs from the line
-	write      bool   // fetch-on-write: mark dirty and ack the store
-	respond    func(now sim.Cycle, mask uint64)
+	tok        int32
+	write      bool // fetch-on-write: mark dirty and ack the store
 }
 
-// l2Entry is one outstanding line miss (the bank's MSHR entry).
+// l2Entry is one outstanding line miss (the bank's MSHR entry). Entries
+// live in the bank's pooled slab and are referenced by slot index; a
+// recycled entry keeps its targets slice's capacity.
 type l2Entry struct {
 	pending uint64 // sectors requested from the protection controller
 	filled  uint64
 	targets []l2Target
+}
+
+// l2Op is one scheduled bank operation: a read or store that has crossed
+// the interconnect and is waiting out the tag latency, or that sits parked
+// behind a full MSHR file. Ops are pooled and travel through the event
+// queue by slot index.
+type l2Op struct {
+	lineAddr uint64
+	mask     uint64
+	fullMask uint64
+	tok      int32
+	write    bool
 }
 
 // L2Bank is one bank of the shared sectored L2. Demand requests arrive
@@ -27,10 +42,18 @@ type L2Bank struct {
 	m     *Machine
 	id    int
 	cache *cache.Cache
-	mshr  map[uint64]*l2Entry
 
-	// waiting parks requests that arrived while the MSHR file was full.
-	waiting []func(sim.Cycle)
+	mshr    map[uint64]int32 // line address → entry slot
+	entries []l2Entry
+	entFree []int32
+	ops     []l2Op
+	opFree  []int32
+
+	// waiting parks op slots that arrived while the MSHR file was full;
+	// whead is the consumed prefix, compacted once it dominates the slice
+	// so the queue's backing array cannot grow without bound.
+	waiting []int32
+	whead   int
 
 	// reconPending tracks reconstructed sectors not yet referenced, for
 	// predictor feedback; the scoreboard ages entries by the bank's total
@@ -39,6 +62,7 @@ type L2Bank struct {
 	// because it has had ample opportunity to be referenced.
 	reconPending map[uint64]bool
 	reconFIFO    []reconEntry
+	rfHead       int
 	fillTick     uint64
 }
 
@@ -59,21 +83,40 @@ func newL2Bank(m *Machine, id int) *L2Bank {
 		m:            m,
 		id:           id,
 		cache:        cache.New(cfg),
-		mshr:         make(map[uint64]*l2Entry),
+		mshr:         make(map[uint64]int32),
 		reconPending: make(map[uint64]bool),
 	}
 }
 
-// sectorAddrs expands a line mask into sector addresses.
-func (b *L2Bank) sectorAddrs(lineAddr uint64, mask uint64) []uint64 {
-	out := make([]uint64, 0, b.cache.SectorsPerLine())
-	for i := 0; i < b.cache.SectorsPerLine(); i++ {
-		if mask&(1<<i) != 0 {
-			out = append(out, lineAddr+uint64(i*b.m.cfg.L2.SectorBytes))
-		}
+func (b *L2Bank) allocEntry() int32 {
+	if n := len(b.entFree); n > 0 {
+		ei := b.entFree[n-1]
+		b.entFree = b.entFree[:n-1]
+		e := &b.entries[ei]
+		e.pending, e.filled = 0, 0
+		e.targets = e.targets[:0]
+		return ei
 	}
-	return out
+	b.entries = append(b.entries, l2Entry{})
+	return int32(len(b.entries) - 1)
 }
+
+func (b *L2Bank) freeEntry(ei int32) { b.entFree = append(b.entFree, ei) }
+
+func (b *L2Bank) allocOp() int32 {
+	if n := len(b.opFree); n > 0 {
+		oi := b.opFree[n-1]
+		b.opFree = b.opFree[:n-1]
+		return oi
+	}
+	b.ops = append(b.ops, l2Op{})
+	return int32(len(b.ops) - 1)
+}
+
+func (b *L2Bank) freeOp(oi int32) { b.opFree = append(b.opFree, oi) }
+
+// waitingCount reports how many requests sit parked behind the MSHR file.
+func (b *L2Bank) waitingCount() int { return len(b.waiting) - b.whead }
 
 // noteUse clears reconstruction-pending state on a referenced sector and
 // reports the use to the scheme.
@@ -85,11 +128,13 @@ func (b *L2Bank) noteUse(addr uint64) {
 }
 
 // noteEviction reports unused reconstructed sectors of an evicted line.
-func (b *L2Bank) noteEviction(ev *cache.Eviction) {
-	if ev == nil {
-		return
-	}
-	for _, sa := range b.sectorAddrs(ev.LineAddr, ev.ValidMask) {
+func (b *L2Bank) noteEviction(lineAddr uint64, validMask uint64) {
+	spl := b.cache.SectorsPerLine()
+	for i := 0; i < spl; i++ {
+		if validMask&(1<<i) == 0 {
+			continue
+		}
+		sa := lineAddr + uint64(i*b.m.cfg.L2.SectorBytes)
 		if b.reconPending[sa] {
 			delete(b.reconPending, sa)
 			b.m.reconFeedback(sa, false)
@@ -99,10 +144,12 @@ func (b *L2Bank) noteEviction(ev *cache.Eviction) {
 
 // fill inserts sectors and routes any dirty victim to the controller.
 func (b *L2Bank) fill(now sim.Cycle, lineAddr uint64, mask, dirtyMask uint64) {
-	ev := b.cache.Fill(lineAddr, mask, dirtyMask)
-	b.noteEviction(ev)
-	if ev != nil && ev.DirtyMask != 0 {
-		b.m.scheme.Writeback(now, ev.LineAddr, ev.DirtyMask)
+	var ev cache.Eviction
+	if b.cache.FillInto(lineAddr, mask, dirtyMask, &ev) {
+		b.noteEviction(ev.LineAddr, ev.ValidMask)
+		if ev.DirtyMask != 0 {
+			b.m.scheme.Writeback(now, ev.LineAddr, ev.DirtyMask)
+		}
 	}
 	b.fillTick++
 	b.ageScoreboard()
@@ -111,24 +158,66 @@ func (b *L2Bank) fill(now sim.Cycle, lineAddr uint64, mask, dirtyMask uint64) {
 // ageScoreboard retires reconstruction-tracking entries past the horizon,
 // reporting still-unused ones as waste.
 func (b *L2Bank) ageScoreboard() {
-	for len(b.reconFIFO) > 0 && b.reconFIFO[0].tick+reconHorizon < b.fillTick {
-		old := b.reconFIFO[0]
-		b.reconFIFO = b.reconFIFO[1:]
+	for b.rfHead < len(b.reconFIFO) && b.reconFIFO[b.rfHead].tick+reconHorizon < b.fillTick {
+		old := b.reconFIFO[b.rfHead]
+		b.rfHead++
 		if b.reconPending[old.addr] {
 			delete(b.reconPending, old.addr)
 			b.m.reconFeedback(old.addr, false)
 		}
 	}
+	if b.rfHead == len(b.reconFIFO) {
+		b.reconFIFO = b.reconFIFO[:0]
+		b.rfHead = 0
+	} else if b.rfHead >= 1024 && b.rfHead*2 >= len(b.reconFIFO) {
+		n := copy(b.reconFIFO, b.reconFIFO[b.rfHead:])
+		b.reconFIFO = b.reconFIFO[:n]
+		b.rfHead = 0
+	}
+}
+
+// bankOpHandler dispatches a pooled bank op (a0) after the tag latency.
+type bankOpHandler L2Bank
+
+func (h *bankOpHandler) OnEvent(now sim.Cycle, a0, _ uint64) {
+	(*L2Bank)(h).exec(now, int32(uint32(a0)))
+}
+
+// scheduleRead queues a demand-read line request behind the L2 tag latency,
+// responding through the token.
+func (b *L2Bank) scheduleRead(now sim.Cycle, lineAddr uint64, mask uint64, tok int32) {
+	oi := b.allocOp()
+	b.ops[oi] = l2Op{lineAddr: lineAddr, mask: mask, tok: tok}
+	b.m.eng.Post(now+b.m.cfg.L2Latency, (*bankOpHandler)(b), uint64(uint32(oi)), 0)
+}
+
+// scheduleStore queues a store line request behind the L2 tag latency.
+// fullMask marks sectors whose bytes the warp fully covers.
+func (b *L2Bank) scheduleStore(now sim.Cycle, lineAddr uint64, mask, fullMask uint64, tok int32) {
+	oi := b.allocOp()
+	b.ops[oi] = l2Op{lineAddr: lineAddr, mask: mask, fullMask: fullMask, tok: tok, write: true}
+	b.m.eng.Post(now+b.m.cfg.L2Latency, (*bankOpHandler)(b), uint64(uint32(oi)), 0)
 }
 
 // HandleRead services a demand-read line request after the L2 tag latency.
 // respond may fire more than once, each time with a disjoint sector mask;
-// the masks union to the requested mask.
+// the masks union to the requested mask. It is the bank's public API (the
+// machine's SMs use the pooled token path directly).
 func (b *L2Bank) HandleRead(now sim.Cycle, lineAddr uint64, mask uint64,
 	respond func(now sim.Cycle, mask uint64)) {
-	b.m.eng.At(now+b.m.cfg.L2Latency, func(at sim.Cycle) {
-		b.read(at, lineAddr, mask, respond)
-	})
+	ti := b.m.allocToken()
+	b.m.tokens[ti] = l2Token{lineAddr: lineAddr, remaining: mask, recIdx: -1, respond: respond}
+	b.scheduleRead(now, lineAddr, mask, ti)
+}
+
+// HandleStore services a store line request after the L2 tag latency.
+// fullMask marks sectors whose bytes the warp fully covers. respond may
+// fire more than once with disjoint acknowledged sector masks.
+func (b *L2Bank) HandleStore(now sim.Cycle, lineAddr uint64, mask, fullMask uint64,
+	respond func(now sim.Cycle, mask uint64)) {
+	ti := b.m.allocToken()
+	b.m.tokens[ti] = l2Token{lineAddr: lineAddr, remaining: mask, recIdx: -1, write: true, respond: respond}
+	b.scheduleStore(now, lineAddr, mask, fullMask, ti)
 }
 
 // mshrFull reports whether a new line entry cannot be allocated.
@@ -139,34 +228,48 @@ func (b *L2Bank) mshrFull(lineAddr uint64) bool {
 	return len(b.mshr) >= b.m.cfg.L2MSHRs
 }
 
-// enqueueWaiter parks a request until MSHR space frees up (credit-style
-// backpressure toward the interconnect).
-func (b *L2Bank) enqueueWaiter(w func(sim.Cycle)) {
-	b.m.stats.Inc("l2_mshr_stalls")
-	b.waiting = append(b.waiting, w)
+// exec runs one bank op, parking it (credit-style backpressure toward the
+// interconnect) while the MSHR file is full.
+func (b *L2Bank) exec(now sim.Cycle, oi int32) {
+	op := b.ops[oi]
+	if b.mshrFull(op.lineAddr) {
+		b.m.stMSHRStalls.Inc()
+		b.waiting = append(b.waiting, oi)
+		return
+	}
+	b.freeOp(oi)
+	if op.write {
+		b.store(now, op)
+	} else {
+		b.read(now, op)
+	}
 }
 
 // pump replays parked requests while entry space is available.
 func (b *L2Bank) pump(now sim.Cycle) {
-	for len(b.waiting) > 0 && len(b.mshr) < b.m.cfg.L2MSHRs {
-		w := b.waiting[0]
-		b.waiting = b.waiting[1:]
-		w(now)
+	for b.whead < len(b.waiting) && len(b.mshr) < b.m.cfg.L2MSHRs {
+		oi := b.waiting[b.whead]
+		b.whead++
+		if b.whead == len(b.waiting) {
+			b.waiting = b.waiting[:0]
+			b.whead = 0
+		} else if b.whead >= 1024 && b.whead*2 >= len(b.waiting) {
+			n := copy(b.waiting, b.waiting[b.whead:])
+			b.waiting = b.waiting[:n]
+			b.whead = 0
+		}
+		b.exec(now, oi)
 	}
 }
 
-func (b *L2Bank) read(now sim.Cycle, lineAddr uint64, mask uint64,
-	respond func(now sim.Cycle, mask uint64)) {
-	if b.mshrFull(lineAddr) {
-		b.enqueueWaiter(func(at sim.Cycle) { b.read(at, lineAddr, mask, respond) })
-		return
-	}
+func (b *L2Bank) read(now sim.Cycle, op l2Op) {
+	spl := b.cache.SectorsPerLine()
 	var missMask, hitMask uint64
-	for i := 0; i < b.cache.SectorsPerLine(); i++ {
-		if mask&(1<<i) == 0 {
+	for i := 0; i < spl; i++ {
+		if op.mask&(1<<i) == 0 {
 			continue
 		}
-		sa := lineAddr + uint64(i*b.m.cfg.L2.SectorBytes)
+		sa := op.lineAddr + uint64(i*b.m.cfg.L2.SectorBytes)
 		if b.cache.Access(sa, false) == cache.Hit {
 			b.noteUse(sa)
 			hitMask |= 1 << i
@@ -175,84 +278,71 @@ func (b *L2Bank) read(now sim.Cycle, lineAddr uint64, mask uint64,
 		}
 	}
 	if hitMask != 0 {
-		b.m.stats.Add("l2_hits", uint64(popcount(hitMask)))
-		respond(now, hitMask)
+		b.m.stL2Hits.Add(uint64(popcount(hitMask)))
+		b.m.respondToken(now, op.tok, hitMask)
 	}
 	if missMask == 0 {
 		return
 	}
-	b.m.stats.Add("l2_misses", uint64(popcount(missMask)))
-	b.enqueueMiss(now, lineAddr, missMask, l2Target{
+	b.m.stL2Misses.Add(uint64(popcount(missMask)))
+	b.enqueueMiss(now, op.lineAddr, missMask, l2Target{
 		sectorMask: missMask,
-		respond:    respond,
+		tok:        op.tok,
 	})
 }
 
-// HandleStore services a store line request after the L2 tag latency.
-// fullMask marks sectors whose bytes the warp fully covers. respond may
-// fire more than once with disjoint acknowledged sector masks.
-func (b *L2Bank) HandleStore(now sim.Cycle, lineAddr uint64, mask, fullMask uint64,
-	respond func(now sim.Cycle, mask uint64)) {
-	b.m.eng.At(now+b.m.cfg.L2Latency, func(at sim.Cycle) {
-		b.store(at, lineAddr, mask, fullMask, respond)
-	})
-}
-
-func (b *L2Bank) store(now sim.Cycle, lineAddr uint64, mask, fullMask uint64,
-	respond func(now sim.Cycle, mask uint64)) {
-	if b.mshrFull(lineAddr) {
-		b.enqueueWaiter(func(at sim.Cycle) { b.store(at, lineAddr, mask, fullMask, respond) })
-		return
-	}
+func (b *L2Bank) store(now sim.Cycle, op l2Op) {
+	spl := b.cache.SectorsPerLine()
 	var ackMask, fetchMask uint64
-	for i := 0; i < b.cache.SectorsPerLine(); i++ {
-		if mask&(1<<i) == 0 {
+	for i := 0; i < spl; i++ {
+		if op.mask&(1<<i) == 0 {
 			continue
 		}
-		sa := lineAddr + uint64(i*b.m.cfg.L2.SectorBytes)
+		sa := op.lineAddr + uint64(i*b.m.cfg.L2.SectorBytes)
 		bit := uint64(1) << i
 		switch {
 		case b.cache.Access(sa, true) == cache.Hit:
 			// Dirty bit set by the access; the write is absorbed.
-			b.m.stats.Inc("l2_store_hits")
+			b.m.stStoreHits.Inc()
 			b.noteUse(sa)
 			ackMask |= bit
-		case fullMask&bit != 0 || !b.m.scheme.NeedsRMWFetch():
+		case op.fullMask&bit != 0 || !b.m.scheme.NeedsRMWFetch():
 			// Full coverage (or byte-maskable DRAM): allocate in place
 			// without fetching the old contents.
-			b.m.stats.Inc("l2_store_allocs")
-			b.fill(now, lineAddr, bit, bit)
+			b.m.stStoreAllocs.Inc()
+			b.fill(now, op.lineAddr, bit, bit)
 			ackMask |= bit
 		default:
 			// Partial-sector store under ECC: fetch-before-write.
-			b.m.stats.Inc("l2_rmw_fetches")
+			b.m.stRMWFetches.Inc()
 			fetchMask |= bit
 		}
 	}
 	if ackMask != 0 {
-		respond(now, ackMask)
+		b.m.respondToken(now, op.tok, ackMask)
 	}
 	if fetchMask == 0 {
 		return
 	}
-	b.enqueueMiss(now, lineAddr, fetchMask, l2Target{
+	b.enqueueMiss(now, op.lineAddr, fetchMask, l2Target{
 		sectorMask: fetchMask,
+		tok:        op.tok,
 		write:      true,
-		respond:    respond,
 	})
 }
 
 // enqueueMiss merges the target into the line's MSHR entry, asking the
 // controller for any sectors not already in flight.
 func (b *L2Bank) enqueueMiss(now sim.Cycle, lineAddr uint64, mask uint64, t l2Target) {
-	e, ok := b.mshr[lineAddr]
+	ei, ok := b.mshr[lineAddr]
 	if !ok {
-		e = &l2Entry{}
-		b.mshr[lineAddr] = e
+		ei = b.allocEntry()
+		b.mshr[lineAddr] = ei
 		if b.m.audit != nil {
 			b.m.audit.MSHRAlloc(now, b.id, lineAddr, len(b.mshr))
 		}
 	}
+	e := &b.entries[ei]
 	e.targets = append(e.targets, t)
 	fetch := mask &^ e.pending
 	e.pending |= mask
@@ -274,7 +364,7 @@ func (b *L2Bank) enqueueMiss(now sim.Cycle, lineAddr uint64, mask uint64, t l2Ta
 // onFill receives sectors from the controller, fills the cache, and
 // retires the entry when everything pending has arrived.
 func (b *L2Bank) onFill(now sim.Cycle, lineAddr uint64, mask uint64) {
-	e, ok := b.mshr[lineAddr]
+	ei, ok := b.mshr[lineAddr]
 	if !ok {
 		panic("gpu: L2 fill with no MSHR entry")
 	}
@@ -282,8 +372,8 @@ func (b *L2Bank) onFill(now sim.Cycle, lineAddr uint64, mask uint64) {
 		b.m.audit.MSHRFill(now, b.id, lineAddr, mask)
 	}
 	b.fill(now, lineAddr, mask, 0)
-	e.filled |= mask
-	if e.filled != e.pending {
+	b.entries[ei].filled |= mask
+	if b.entries[ei].filled != b.entries[ei].pending {
 		return
 	}
 	if b.m.audit != nil {
@@ -291,9 +381,19 @@ func (b *L2Bank) onFill(now sim.Cycle, lineAddr uint64, mask uint64) {
 	}
 	delete(b.mshr, lineAddr)
 	b.pump(now)
-	for _, t := range e.targets {
+	// pump can replay parked ops whose misses grow the entry slab, so
+	// re-index entries[ei] each pass instead of holding a pointer across
+	// it; the slot itself stays ours until freed below (its map entry is
+	// gone, so nothing merges into it).
+	for i := 0; i < len(b.entries[ei].targets); i++ {
+		t := b.entries[ei].targets[i]
 		if t.write {
-			for _, sa := range b.sectorAddrs(lineAddr, t.sectorMask) {
+			spl := b.cache.SectorsPerLine()
+			for j := 0; j < spl; j++ {
+				if t.sectorMask&(1<<j) == 0 {
+					continue
+				}
+				sa := lineAddr + uint64(j*b.m.cfg.L2.SectorBytes)
 				// The fetched sector absorbs the store's bytes.
 				if b.cache.Probe(sa) == cache.Hit {
 					b.cache.MarkDirty(sa)
@@ -304,8 +404,9 @@ func (b *L2Bank) onFill(now sim.Cycle, lineAddr uint64, mask uint64) {
 				}
 			}
 		}
-		t.respond(now, t.sectorMask)
+		b.m.respondToken(now, t.tok, t.sectorMask)
 	}
+	b.freeEntry(ei)
 }
 
 // Present reports sector validity (CacheSide).
@@ -314,8 +415,8 @@ func (b *L2Bank) Present(addr uint64) bool { return b.cache.Probe(addr) == cache
 // Pending reports whether the sector is already being fetched (CacheSide).
 func (b *L2Bank) Pending(addr uint64) bool {
 	lineAddr := b.cache.LineAddr(addr)
-	e, ok := b.mshr[lineAddr]
-	return ok && e.pending&b.cache.SectorMask(addr) != 0
+	ei, ok := b.mshr[lineAddr]
+	return ok && b.entries[ei].pending&b.cache.SectorMask(addr) != 0
 }
 
 // Insert places a sector into the bank (CacheSide).
@@ -353,17 +454,11 @@ func (b *L2Bank) flushDirty(now sim.Cycle, scheme protect.Scheme) {
 			return
 		}
 		scheme.Writeback(now, lineAddr, dmask)
-		for _, sa := range b.sectorAddrs(lineAddr, dmask) {
-			b.cache.CleanSector(sa)
+		spl := b.cache.SectorsPerLine()
+		for i := 0; i < spl; i++ {
+			if dmask&(1<<i) != 0 {
+				b.cache.CleanSector(lineAddr + uint64(i*b.m.cfg.L2.SectorBytes))
+			}
 		}
 	})
-}
-
-func popcount(m uint64) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
 }

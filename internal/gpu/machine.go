@@ -39,6 +39,22 @@ type Machine struct {
 	reqNet  *xbar.Crossbar // SMs → L2 banks
 	respNet *xbar.Crossbar // L2 banks → SMs
 
+	// Pooled SM→L2 transaction tokens (see tokens.go).
+	tokens  []l2Token
+	tokFree int32
+
+	// Pre-resolved machine-counter handles for the per-sector hot path;
+	// lazy resolution keeps the counter set's first-touch creation order.
+	stSectorReqs  stats.Handle
+	stL1Hits      stats.Handle
+	stL1Misses    stats.Handle
+	stL2Hits      stats.Handle
+	stL2Misses    stats.Handle
+	stStoreHits   stats.Handle
+	stStoreAllocs stats.Handle
+	stRMWFetches  stats.Handle
+	stMSHRStalls  stats.Handle
+
 	smsDone     int
 	outstanding int
 	perfCycles  sim.Cycle
@@ -111,6 +127,15 @@ func NewFromSource(cfg config.GPU, src WorkloadSource, factory protect.Factory) 
 		mapper: mapper,
 		stats:  stats.NewCounters(),
 	}
+	m.stSectorReqs = m.stats.Handle("sector_requests")
+	m.stL1Hits = m.stats.Handle("l1_hits")
+	m.stL1Misses = m.stats.Handle("l1_misses")
+	m.stL2Hits = m.stats.Handle("l2_hits")
+	m.stL2Misses = m.stats.Handle("l2_misses")
+	m.stStoreHits = m.stats.Handle("l2_store_hits")
+	m.stStoreAllocs = m.stats.Handle("l2_store_allocs")
+	m.stRMWFetches = m.stats.Handle("l2_rmw_fetches")
+	m.stMSHRStalls = m.stats.Handle("l2_mshr_stalls")
 	m.dram = dram.New(m.eng, cfg.DRAM)
 	m.reqNet = xbar.New("xbar-req", xbar.Config{
 		Sources:                cfg.NumSMs,
@@ -237,61 +262,49 @@ func (m *Machine) EnableAudit() *audit.Checker {
 func (m *Machine) Audit() *audit.Checker { return m.audit }
 
 // sendRead models the SM→L2 request hop and the L2→SM data hop for a line
-// read; done fires once per delivered sector batch with that batch's mask.
-func (m *Machine) sendRead(now sim.Cycle, smID int, lineAddr uint64, mask uint64,
-	done func(now sim.Cycle, mask uint64)) {
+// read; the issuing SM's onLoadResponse fires once per delivered sector
+// batch via the token path (see tokens.go).
+func (m *Machine) sendRead(now sim.Cycle, smID int, lineAddr uint64, mask uint64) {
 	m.outstanding++
 	var tok uint64
 	if m.audit != nil {
 		tok = m.audit.ReadIssued(now, smID, lineAddr, mask)
 	}
-	remaining := mask
+	ti := m.allocToken()
+	m.tokens[ti] = l2Token{
+		lineAddr:  lineAddr,
+		remaining: mask,
+		audTok:    tok,
+		smID:      int32(smID),
+		recIdx:    -1,
+	}
 	bankIdx := m.bankIndexFor(lineAddr)
 	arrive := m.reqNet.Transfer(now, smID, bankIdx, 16)
-	bank := m.banks[bankIdx]
-	bank.HandleRead(arrive, lineAddr, mask, func(at sim.Cycle, got uint64) {
-		deliver := m.respNet.Transfer(at, bankIdx, smID, popcount(got)*m.cfg.L2.SectorBytes)
-		m.eng.At(deliver, func(dn sim.Cycle) {
-			if m.audit != nil {
-				m.audit.Delivered(dn, tok, got)
-			}
-			remaining &^= got
-			if remaining == 0 {
-				m.outstanding--
-			}
-			done(dn, got)
-		})
-	})
+	m.banks[bankIdx].scheduleRead(arrive, lineAddr, mask, ti)
 }
 
 // sendStore models the SM→L2 store hop (header + data) and the ack hop;
-// done fires per acknowledged sector batch with that batch's mask.
-func (m *Machine) sendStore(now sim.Cycle, smID int, g lineGroup,
-	done func(now sim.Cycle, mask uint64)) {
+// the owning access record (recIdx) is completed per acknowledged sector
+// batch via the token path.
+func (m *Machine) sendStore(now sim.Cycle, smID int, g lineGroup, recIdx int32) {
 	m.outstanding++
 	var tok uint64
 	if m.audit != nil {
 		tok = m.audit.StoreIssued(now, smID, g.lineAddr, g.sectorMask)
 	}
+	ti := m.allocToken()
+	m.tokens[ti] = l2Token{
+		lineAddr:  g.lineAddr,
+		remaining: g.sectorMask,
+		audTok:    tok,
+		smID:      int32(smID),
+		recIdx:    recIdx,
+		write:     true,
+	}
 	bytes := 16 + popcount(g.sectorMask)*m.cfg.L2.SectorBytes
 	bankIdx := m.bankIndexFor(g.lineAddr)
 	arrive := m.reqNet.Transfer(now, smID, bankIdx, bytes)
-	bank := m.banks[bankIdx]
-	remaining := g.sectorMask
-	bank.HandleStore(arrive, g.lineAddr, g.sectorMask, g.fullMask,
-		func(at sim.Cycle, got uint64) {
-			deliver := m.respNet.Transfer(at, bankIdx, smID, 8)
-			m.eng.At(deliver, func(dn sim.Cycle) {
-				if m.audit != nil {
-					m.audit.Delivered(dn, tok, got)
-				}
-				remaining &^= got
-				if remaining == 0 {
-					m.outstanding--
-				}
-				done(dn, got)
-			})
-		})
+	m.banks[bankIdx].scheduleStore(arrive, g.lineAddr, g.sectorMask, g.fullMask, ti)
 }
 
 // smFinished records an SM exhausting its workload.
@@ -358,7 +371,7 @@ func (m *Machine) Run() (Result, error) {
 	if m.audit != nil {
 		end := m.eng.Now()
 		for _, b := range m.banks {
-			m.audit.BankDrained(end, b.id, len(b.mshr), len(b.waiting))
+			m.audit.BankDrained(end, b.id, len(b.mshr), b.waitingCount())
 			m.audit.CacheViolation(end, b.cache.CheckConsistency())
 		}
 		m.audit.FinishSim(end, m.outstanding, m.eng.Pending())

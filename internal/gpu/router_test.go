@@ -34,9 +34,12 @@ func TestBankRouterCacheSideContract(t *testing.T) {
 	if m.bankIndexFor(missLine) != 0 {
 		t.Fatalf("test address routes to bank %d", m.bankIndexFor(missLine))
 	}
+	ti := m.allocToken()
+	m.tokens[ti] = l2Token{lineAddr: missLine, remaining: 0b0001, recIdx: -1,
+		respond: func(sim.Cycle, uint64) {}}
 	m.banks[0].enqueueMiss(0, missLine, 0b0001, l2Target{
 		sectorMask: 0b0001,
-		respond:    func(sim.Cycle, uint64) {},
+		tok:        ti,
 	})
 	if !side.Pending(missLine) {
 		t.Fatal("in-flight miss not visible as pending")

@@ -7,11 +7,19 @@ import (
 )
 
 // smAccess tracks one in-flight warp access: it retires when all its
-// sector requests have completed.
+// sector requests have completed. Accesses are pooled in the SM's slab and
+// referenced by slot index from tokens and L1 waiter chains.
 type smAccess struct {
-	remaining int
 	instrs    uint64
+	remaining int32
 	dependent bool
+}
+
+// l1Waiter is one pooled node in a sector's L1 miss-merge chain. Index 0
+// of the waiter slab is a reserved sentinel, so a zero link ends a chain.
+type l1Waiter struct {
+	rec  int32
+	next int32
 }
 
 // SM models one streaming multiprocessor's memory front end: it issues
@@ -23,8 +31,8 @@ type SM struct {
 	wl trace.Workload
 
 	l1      *cache.Cache
-	l1mshr  map[uint64][]*smAccess // sector address → waiting accesses
-	pending int                    // in-flight accesses
+	l1mshr  map[uint64]int32 // sector address → waiter-chain head
+	pending int              // in-flight accesses
 
 	blocked        bool // a dependent access is outstanding
 	finished       bool
@@ -32,21 +40,76 @@ type SM struct {
 
 	instrRetired uint64
 	accessesDone uint64
+
+	// Pools and per-issue scratch (reused, never escaping an issue).
+	accs    []smAccess
+	accFree []int32
+	waiters []l1Waiter
+	wFree   int32
+
+	reqScratch   []SectorReq
+	groupScratch []lineGroup
 }
 
 func newSM(id int, m *Machine, wl trace.Workload) *SM {
 	cfg := m.cfg.L1
 	return &SM{
-		id:     id,
-		m:      m,
-		wl:     wl,
-		l1:     cache.New(cfg),
-		l1mshr: make(map[uint64][]*smAccess),
+		id:      id,
+		m:       m,
+		wl:      wl,
+		l1:      cache.New(cfg),
+		l1mshr:  make(map[uint64]int32),
+		waiters: make([]l1Waiter, 1), // slot 0 is the chain sentinel
 	}
+}
+
+func (s *SM) allocAcc() int32 {
+	if n := len(s.accFree); n > 0 {
+		idx := s.accFree[n-1]
+		s.accFree = s.accFree[:n-1]
+		return idx
+	}
+	s.accs = append(s.accs, smAccess{})
+	return int32(len(s.accs) - 1)
+}
+
+func (s *SM) freeAcc(idx int32) { s.accFree = append(s.accFree, idx) }
+
+func (s *SM) allocWaiter(rec int32) int32 {
+	idx := s.wFree
+	if idx == 0 {
+		s.waiters = append(s.waiters, l1Waiter{rec: rec})
+		return int32(len(s.waiters) - 1)
+	}
+	s.wFree = s.waiters[idx].next
+	s.waiters[idx] = l1Waiter{rec: rec}
+	return idx
+}
+
+func (s *SM) freeWaiter(idx int32) {
+	s.waiters[idx].next = s.wFree
+	s.wFree = idx
 }
 
 // start arms the SM's issue loop.
 func (s *SM) start() { s.scheduleIssue(0) }
+
+// issueHandler runs the SM's issue loop as a pooled event.
+type issueHandler SM
+
+func (h *issueHandler) OnEvent(now sim.Cycle, _, _ uint64) {
+	s := (*SM)(h)
+	s.issueScheduled = false
+	s.tryIssue(now)
+}
+
+// l1HitHandler completes a0's access record by a1 sectors after the L1
+// hit latency.
+type l1HitHandler SM
+
+func (h *l1HitHandler) OnEvent(now sim.Cycle, a0, a1 uint64) {
+	(*SM)(h).completeSectorsIdx(now, int32(a0), int(a1))
+}
 
 // scheduleIssue arms one issue event at the given cycle (idempotent while
 // one is already armed).
@@ -55,10 +118,7 @@ func (s *SM) scheduleIssue(at sim.Cycle) {
 		return
 	}
 	s.issueScheduled = true
-	s.m.eng.At(at, func(now sim.Cycle) {
-		s.issueScheduled = false
-		s.tryIssue(now)
-	})
+	s.m.eng.Post(at, (*issueHandler)(s), 0, 0)
 }
 
 // tryIssue issues the next warp access if occupancy and dependences allow.
@@ -84,9 +144,11 @@ func (s *SM) tryIssue(now sim.Cycle) {
 
 // issue splits the access into sector requests and routes them.
 func (s *SM) issue(now sim.Cycle, a trace.Access) {
-	reqs := Coalesce(a, s.m.cfg.L1.SectorBytes)
-	rec := &smAccess{
-		remaining: len(reqs),
+	s.reqScratch = coalesceInto(s.reqScratch[:0], a, s.m.cfg.L1.SectorBytes)
+	reqs := s.reqScratch
+	ri := s.allocAcc()
+	s.accs[ri] = smAccess{
+		remaining: int32(len(reqs)),
 		instrs:    uint64(1 + a.ComputeWeight),
 		dependent: a.Dependent,
 	}
@@ -94,25 +156,24 @@ func (s *SM) issue(now sim.Cycle, a trace.Access) {
 	if a.Dependent {
 		s.blocked = true
 	}
-	s.m.stats.Add("sector_requests", uint64(len(reqs)))
+	s.m.stSectorReqs.Add(uint64(len(reqs)))
 
-	groups := groupByLine(reqs, s.m.cfg.L1.LineBytes, s.m.cfg.L1.SectorBytes)
+	s.groupScratch = groupByLineInto(s.groupScratch[:0], reqs, s.m.cfg.L1.LineBytes, s.m.cfg.L1.SectorBytes)
+	groups := s.groupScratch
 	if a.Write {
-		for _, g := range groups {
-			s.m.sendStore(now, s.id, g, func(at sim.Cycle, mask uint64) {
-				s.completeSectors(at, rec, popcountMask(mask))
-			})
+		for i := range groups {
+			s.m.sendStore(now, s.id, groups[i], ri)
 		}
 		return
 	}
-	for _, g := range groups {
-		s.issueLoadGroup(now, rec, g)
+	for i := range groups {
+		s.issueLoadGroup(now, ri, groups[i])
 	}
 }
 
 // issueLoadGroup filters one line's sectors through the L1 and sends the
 // misses to the L2.
-func (s *SM) issueLoadGroup(now sim.Cycle, rec *smAccess, g lineGroup) {
+func (s *SM) issueLoadGroup(now sim.Cycle, ri int32, g lineGroup) {
 	spl := s.l1.SectorsPerLine()
 	var sendMask uint64
 	for i := 0; i < spl; i++ {
@@ -121,34 +182,35 @@ func (s *SM) issueLoadGroup(now sim.Cycle, rec *smAccess, g lineGroup) {
 		}
 		sa := g.lineAddr + uint64(i*s.m.cfg.L1.SectorBytes)
 		if s.l1.Access(sa, false) == cache.Hit {
-			s.m.stats.Inc("l1_hits")
-			s.m.eng.At(now+s.m.cfg.L1Latency, func(at sim.Cycle) {
-				s.completeSectors(at, rec, 1)
-			})
+			s.m.stL1Hits.Inc()
+			s.m.eng.Post(now+s.m.cfg.L1Latency, (*l1HitHandler)(s), uint64(ri), 1)
 			continue
 		}
-		s.m.stats.Inc("l1_misses")
-		if waiters, ok := s.l1mshr[sa]; ok {
-			// Merge with the in-flight fetch.
-			s.l1mshr[sa] = append(waiters, rec)
+		s.m.stL1Misses.Inc()
+		if head, ok := s.l1mshr[sa]; ok {
+			// Merge with the in-flight fetch, appending at the chain tail
+			// so wake order stays arrival order.
+			tail := head
+			for s.waiters[tail].next != 0 {
+				tail = s.waiters[tail].next
+			}
+			s.waiters[tail].next = s.allocWaiter(ri)
 			continue
 		}
-		s.l1mshr[sa] = []*smAccess{rec}
+		s.l1mshr[sa] = s.allocWaiter(ri)
 		sendMask |= 1 << i
 	}
 	if sendMask == 0 {
 		return
 	}
-	line := g.lineAddr
-	s.m.sendRead(now, s.id, line, sendMask, func(at sim.Cycle, got uint64) {
-		s.onLoadResponse(at, line, got)
-	})
+	s.m.sendRead(now, s.id, g.lineAddr, sendMask)
 }
 
 // onLoadResponse fills the L1 and wakes every access waiting on the
 // returned sectors.
 func (s *SM) onLoadResponse(now sim.Cycle, lineAddr uint64, mask uint64) {
-	if ev := s.l1.Fill(lineAddr, mask, 0); ev != nil && ev.DirtyMask != 0 {
+	var ev cache.Eviction
+	if s.l1.FillInto(lineAddr, mask, 0, &ev) && ev.DirtyMask != 0 {
 		// The L1 is write-through; dirty evictions cannot happen.
 		panic("gpu: dirty eviction from a write-through L1")
 	}
@@ -157,17 +219,21 @@ func (s *SM) onLoadResponse(now sim.Cycle, lineAddr uint64, mask uint64) {
 			continue
 		}
 		sa := lineAddr + uint64(i*s.m.cfg.L1.SectorBytes)
-		waiters := s.l1mshr[sa]
+		n, ok := s.l1mshr[sa]
+		if !ok {
+			continue
+		}
 		delete(s.l1mshr, sa)
-		for _, rec := range waiters {
-			s.completeSectors(now, rec, 1)
+		for n != 0 {
+			w := s.waiters[n]
+			s.freeWaiter(n)
+			s.completeSectorsIdx(now, w.rec, 1)
+			n = w.next
 		}
 	}
 }
 
-// completeSectors retires n sector completions of one access, retiring the
-// access itself when the count reaches zero.
-func popcountMask(m uint64) int {
+func popcount(m uint64) int {
 	n := 0
 	for m != 0 {
 		m &= m - 1
@@ -176,8 +242,12 @@ func popcountMask(m uint64) int {
 	return n
 }
 
-func (s *SM) completeSectors(now sim.Cycle, rec *smAccess, n int) {
-	rec.remaining -= n
+// completeSectorsIdx retires n sector completions of one pooled access,
+// retiring the access itself (and recycling its slot) when the count
+// reaches zero.
+func (s *SM) completeSectorsIdx(now sim.Cycle, ri int32, n int) {
+	rec := &s.accs[ri]
+	rec.remaining -= int32(n)
 	if rec.remaining > 0 {
 		return
 	}
@@ -187,7 +257,9 @@ func (s *SM) completeSectors(now sim.Cycle, rec *smAccess, n int) {
 	s.pending--
 	s.instrRetired += rec.instrs
 	s.accessesDone++
-	if rec.dependent {
+	dep := rec.dependent
+	s.freeAcc(ri)
+	if dep {
 		s.blocked = false
 	}
 	s.m.accessRetired(now)

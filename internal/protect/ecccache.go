@@ -74,12 +74,14 @@ func (s *eccCache) redReady(now sim.Cycle, lineAddr uint64, markDirty bool, read
 func (s *eccCache) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
 	env := s.env
 	geo := env.Map.Geometry()
-	sectors := sectorsOf(geo, lineAddr, mask)
 	finish := func(at sim.Cycle) { env.FinishDecode(at, lineAddr, done) }
-	join := joinN(env, now, len(sectors)+1, finish)
-	for _, sa := range sectors {
+	join := joinN(env, now, sectorCount(geo, mask)+1, finish)
+	for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+		if mask&(1<<sec) == 0 {
+			continue
+		}
 		env.DRAM.Submit(now, mem.Request{
-			Addr:  env.Map.DataPhys(sa),
+			Addr:  env.Map.DataPhys(lineAddr + uint64(sec*geo.SectorBytes)),
 			Bytes: geo.SectorBytes,
 			Class: class,
 			Done:  join,
@@ -96,10 +98,14 @@ func (s *eccCache) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64) {
 	env := s.env
 	geo := env.Map.Geometry()
 	if lineAddr&RedTag != 0 {
-		for _, sa := range sectorsOf(geo, lineAddr&^RedTag, dirtyMask) {
+		base := lineAddr &^ RedTag
+		for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+			if dirtyMask&(1<<sec) == 0 {
+				continue
+			}
 			env.Stats.Inc("red_writebacks")
 			env.DRAM.Submit(now, mem.Request{
-				Addr:  sa,
+				Addr:  base + uint64(sec*geo.SectorBytes),
 				Write: true,
 				Bytes: geo.SectorBytes,
 				Class: mem.Redundancy,
@@ -107,9 +113,12 @@ func (s *eccCache) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64) {
 		}
 		return
 	}
-	for _, sa := range sectorsOf(geo, lineAddr, dirtyMask) {
+	for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+		if dirtyMask&(1<<sec) == 0 {
+			continue
+		}
 		env.DRAM.Submit(now, mem.Request{
-			Addr:  env.Map.DataPhys(sa),
+			Addr:  env.Map.DataPhys(lineAddr + uint64(sec*geo.SectorBytes)),
 			Write: true,
 			Bytes: geo.SectorBytes,
 			Class: mem.Writeback,

@@ -27,12 +27,14 @@ func (s *ideal) Name() string { return "ideal" }
 func (s *ideal) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
 	env := s.env
 	geo := env.Map.Geometry()
-	sectors := sectorsOf(geo, lineAddr, mask)
 	finish := func(at sim.Cycle) { env.FinishDecode(at, lineAddr, done) }
-	join := joinN(env, now, len(sectors), finish)
-	for _, sa := range sectors {
+	join := joinN(env, now, sectorCount(geo, mask), finish)
+	for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+		if mask&(1<<sec) == 0 {
+			continue
+		}
 		env.DRAM.Submit(now, mem.Request{
-			Addr:  env.Map.DataPhys(sa),
+			Addr:  env.Map.DataPhys(lineAddr + uint64(sec*geo.SectorBytes)),
 			Bytes: geo.SectorBytes,
 			Class: class,
 			Done:  join,
@@ -44,9 +46,13 @@ func (s *ideal) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.
 func (s *ideal) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64) {
 	env := s.env
 	geo := env.Map.Geometry()
-	for _, sa := range sectorsOf(geo, lineAddr&^RedTag, dirtyMask) {
+	base := lineAddr &^ RedTag
+	for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+		if dirtyMask&(1<<sec) == 0 {
+			continue
+		}
 		env.DRAM.Submit(now, mem.Request{
-			Addr:  env.Map.DataPhys(sa),
+			Addr:  env.Map.DataPhys(base + uint64(sec*geo.SectorBytes)),
 			Write: true,
 			Bytes: geo.SectorBytes,
 			Class: mem.Writeback,

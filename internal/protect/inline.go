@@ -26,15 +26,17 @@ func (s *inlineNaive) Name() string { return "inline-naive" }
 // line sits inside one 256B+ granule, so one redundancy fetch suffices.
 func (s *inlineNaive) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
 	geo := s.env.Map.Geometry()
-	sectors := sectorsOf(geo, lineAddr, mask)
 	env := s.env
 	finish := func(at sim.Cycle) {
 		env.FinishDecode(at, lineAddr, done)
 	}
-	join := joinN(env, now, len(sectors)+1, finish)
-	for _, sa := range sectors {
+	join := joinN(env, now, sectorCount(geo, mask)+1, finish)
+	for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+		if mask&(1<<sec) == 0 {
+			continue
+		}
 		env.DRAM.Submit(now, mem.Request{
-			Addr:  env.Map.DataPhys(sa),
+			Addr:  env.Map.DataPhys(lineAddr + uint64(sec*geo.SectorBytes)),
 			Bytes: geo.SectorBytes,
 			Class: class,
 			Done:  join,
@@ -58,9 +60,12 @@ func (s *inlineNaive) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64
 	env := s.env
 	geo := env.Map.Geometry()
 	lineAddr &^= RedTag
-	for _, sa := range sectorsOf(geo, lineAddr, dirtyMask) {
+	for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+		if dirtyMask&(1<<sec) == 0 {
+			continue
+		}
 		env.DRAM.Submit(now, mem.Request{
-			Addr:  env.Map.DataPhys(sa),
+			Addr:  env.Map.DataPhys(lineAddr + uint64(sec*geo.SectorBytes)),
 			Write: true,
 			Bytes: geo.SectorBytes,
 			Class: mem.Writeback,

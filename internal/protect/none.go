@@ -21,11 +21,13 @@ func (s *none) Name() string { return "none" }
 // ReadMiss fetches each requested sector and completes when all arrive.
 func (s *none) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
 	geo := s.env.Map.Geometry()
-	sectors := sectorsOf(geo, lineAddr, mask)
-	join := joinN(s.env, now, len(sectors), done)
-	for _, sa := range sectors {
+	join := joinN(s.env, now, sectorCount(geo, mask), done)
+	for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+		if mask&(1<<sec) == 0 {
+			continue
+		}
 		s.env.DRAM.Submit(now, mem.Request{
-			Addr:  s.env.Map.DataPhys(sa),
+			Addr:  s.env.Map.DataPhys(lineAddr + uint64(sec*geo.SectorBytes)),
 			Bytes: geo.SectorBytes,
 			Class: class,
 			Done:  join,
@@ -37,9 +39,13 @@ func (s *none) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.C
 // coverage, so no reads are needed.
 func (s *none) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64) {
 	geo := s.env.Map.Geometry()
-	for _, sa := range sectorsOf(geo, lineAddr&^RedTag, dirtyMask) {
+	base := lineAddr &^ RedTag
+	for sec := 0; sec < geo.SectorsPerLine(); sec++ {
+		if dirtyMask&(1<<sec) == 0 {
+			continue
+		}
 		s.env.DRAM.Submit(now, mem.Request{
-			Addr:  s.env.Map.DataPhys(sa),
+			Addr:  s.env.Map.DataPhys(base + uint64(sec*geo.SectorBytes)),
 			Write: true,
 			Bytes: geo.SectorBytes,
 			Class: mem.Writeback,

@@ -14,6 +14,8 @@
 package protect
 
 import (
+	"math/bits"
+
 	"cachecraft/internal/dram"
 	"cachecraft/internal/layout"
 	"cachecraft/internal/mem"
@@ -146,7 +148,8 @@ type Scheme interface {
 type Factory func(env *Env) Scheme
 
 // sectorsOf enumerates the sector addresses selected by mask within a
-// line, using the mapper's geometry.
+// line, using the mapper's geometry. It allocates; hot paths iterate the
+// mask bits directly and size join counters with sectorCount.
 func sectorsOf(geo layout.Geometry, lineAddr uint64, mask uint64) []uint64 {
 	out := make([]uint64, 0, geo.SectorsPerLine())
 	for s := 0; s < geo.SectorsPerLine(); s++ {
@@ -155,6 +158,12 @@ func sectorsOf(geo layout.Geometry, lineAddr uint64, mask uint64) []uint64 {
 		}
 	}
 	return out
+}
+
+// sectorCount reports how many in-line sectors mask selects — the length
+// sectorsOf would return, without materializing the slice.
+func sectorCount(geo layout.Geometry, mask uint64) int {
+	return bits.OnesCount64(mask & (uint64(1)<<geo.SectorsPerLine() - 1))
 }
 
 // joinN invokes done once after n completions have been observed; if n is

@@ -6,9 +6,17 @@
 // deterministic: two runs with identical inputs schedule identical event
 // sequences. Determinism is guaranteed by breaking ties in event time with a
 // monotonically increasing sequence number.
+//
+// The queue is a timing wheel over pooled, intrusively-linked event records:
+// events within wheelSpan cycles of the present live in per-cycle FIFO
+// buckets (so same-cycle ordering is insertion order, which equals sequence
+// order), and farther events wait in a small index min-heap keyed by
+// (cycle, seq). Records are recycled through a free list, so steady-state
+// scheduling allocates nothing. See docs/MODEL.md "Performance notes" for
+// the ordering argument.
 package sim
 
-import "container/heap"
+import "math/bits"
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
@@ -16,41 +24,65 @@ type Cycle uint64
 // Event is a callback scheduled to run at a fixed cycle.
 type Event func(now Cycle)
 
-type queuedEvent struct {
-	at  Cycle
-	seq uint64
-	fn  Event
+// Handler is the closure-free way to schedule work: Post stores the handler
+// interface plus two integer arguments in a pooled event record, so hot
+// paths (token delivery, bank wakeups, issue loops) schedule without
+// allocating a closure per event. Implementations are typically defined on
+// a named pointer type of an existing struct, so posting reuses the
+// struct's existing allocation.
+type Handler interface {
+	// OnEvent runs at the scheduled cycle with the arguments given to Post.
+	OnEvent(now Cycle, a0, a1 uint64)
 }
 
-type eventHeap []queuedEvent
+const (
+	wheelBits = 12
+	// wheelSize is the number of per-cycle buckets; events scheduled within
+	// wheelSpan cycles of the present go straight to their bucket.
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+	wheelSpan = Cycle(wheelSize)
+	occWords  = wheelSize / 64
+)
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+// record is one pooled event. Records live in the engine's slab and link
+// into bucket FIFOs (or the free list) through next; index 0 is a reserved
+// sentinel so a zero link means "end of list".
+type record struct {
+	at   Cycle
+	seq  uint64
+	a0   uint64
+	a1   uint64
+	fn   Event
+	h    Handler
+	next int32
 }
 
 // Engine owns simulated time. Components schedule callbacks with At/After
-// and the engine runs them in deterministic order.
+// (closures) or Post/PostAfter (pooled handler records) and the engine runs
+// them in deterministic (cycle, seq) order.
 type Engine struct {
-	now      Cycle
-	seq      uint64
-	events   eventHeap
+	now     Cycle
+	seq     uint64
+	pending int
+
+	// slab holds every event record; free heads the recycled-record list.
+	slab []record
+	free int32
+
+	// The wheel: bucketHead/bucketTail[s] list the events for the single
+	// pending cycle congruent to s within the window [now, now+wheelSpan);
+	// occ is the bucket-occupancy bitmap used to find the next cycle.
+	bucketHead [wheelSize]int32
+	bucketTail [wheelSize]int32
+	occ        [occWords]uint64
+
+	// overflow holds record indices for events at or beyond now+wheelSpan,
+	// as a min-heap keyed by (at, seq). Records migrate into the wheel each
+	// time now advances, before any new event can be inserted for their
+	// cycle — which is what keeps bucket FIFO order equal to seq order.
+	overflow []int32
+
 	stepHook func(at Cycle)
 }
 
@@ -69,7 +101,21 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Cycle { return e.now }
 
 // Pending reports how many events are waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.pending }
+
+// alloc takes a record off the free list, growing the slab when empty.
+func (e *Engine) alloc() int32 {
+	idx := e.free
+	if idx == 0 {
+		if len(e.slab) == 0 {
+			e.slab = append(e.slab, record{}) // index 0 is the list sentinel
+		}
+		e.slab = append(e.slab, record{})
+		return int32(len(e.slab) - 1)
+	}
+	e.free = e.slab[idx].next
+	return idx
+}
 
 // At schedules fn to run at cycle at. Scheduling in the past is treated as
 // scheduling for the current cycle (the event still runs after all events
@@ -79,7 +125,10 @@ func (e *Engine) At(at Cycle, fn Event) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, queuedEvent{at: at, seq: e.seq, fn: fn})
+	idx := e.alloc()
+	r := &e.slab[idx]
+	r.at, r.seq, r.fn, r.h = at, e.seq, fn, nil
+	e.enqueue(idx, at)
 }
 
 // After schedules fn to run delay cycles from now.
@@ -87,27 +136,153 @@ func (e *Engine) After(delay Cycle, fn Event) {
 	e.At(e.now+delay, fn)
 }
 
+// Post schedules h.OnEvent(at, a0, a1) without allocating: the handler and
+// its arguments are stored in a pooled record. Past cycles clamp to now,
+// exactly as in At.
+func (e *Engine) Post(at Cycle, h Handler, a0, a1 uint64) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	idx := e.alloc()
+	r := &e.slab[idx]
+	r.at, r.seq, r.a0, r.a1, r.fn, r.h = at, e.seq, a0, a1, nil, h
+	e.enqueue(idx, at)
+}
+
+// PostAfter schedules h.OnEvent delay cycles from now.
+func (e *Engine) PostAfter(delay Cycle, h Handler, a0, a1 uint64) {
+	e.Post(e.now+delay, h, a0, a1)
+}
+
+// enqueue routes a filled record to its bucket or to the overflow heap.
+func (e *Engine) enqueue(idx int32, at Cycle) {
+	e.pending++
+	if at-e.now < wheelSpan {
+		e.bucketAppend(idx, at)
+	} else {
+		e.overflowPush(idx)
+	}
+}
+
+// bucketAppend puts the record at the tail of its cycle's FIFO.
+func (e *Engine) bucketAppend(idx int32, at Cycle) {
+	slot := int(at) & wheelMask
+	e.slab[idx].next = 0
+	if e.bucketHead[slot] == 0 {
+		e.bucketHead[slot] = idx
+		e.occ[slot>>6] |= 1 << uint(slot&63)
+	} else {
+		e.slab[e.bucketTail[slot]].next = idx
+	}
+	e.bucketTail[slot] = idx
+}
+
+// migrate moves every overflow event now inside the wheel window onto the
+// wheel. It must run each time now advances (including Run's park-at-limit)
+// before any event executes or is inserted under the new window: overflow
+// events carry smaller sequence numbers than any future insert for the same
+// cycle, so appending them first keeps bucket FIFOs in sequence order.
+func (e *Engine) migrate(now Cycle) {
+	horizon := now + wheelSpan
+	for len(e.overflow) > 0 && e.slab[e.overflow[0]].at < horizon {
+		idx := e.overflowPop()
+		e.bucketAppend(idx, e.slab[idx].at)
+	}
+}
+
+// nextTime reports the cycle of the earliest pending event.
+func (e *Engine) nextTime() (Cycle, bool) {
+	start := int(e.now) & wheelMask
+	if idx := e.bucketHead[start]; idx != 0 {
+		return e.slab[idx].at, true
+	}
+	if slot := e.nextOccupied(start); slot >= 0 {
+		return e.slab[e.bucketHead[slot]].at, true
+	}
+	if len(e.overflow) > 0 {
+		return e.slab[e.overflow[0]].at, true
+	}
+	return 0, false
+}
+
+// nextOccupied scans the occupancy bitmap circularly from start. Because
+// every pending wheel cycle lies within one span of now, circular slot
+// distance equals cycle distance, so the first occupied slot is the
+// earliest pending cycle.
+func (e *Engine) nextOccupied(start int) int {
+	w := start >> 6
+	if word := e.occ[w] >> uint(start&63); word != 0 {
+		return start + bits.TrailingZeros64(word)
+	}
+	for i := 1; i <= occWords; i++ {
+		idx := (w + i) & (occWords - 1)
+		if word := e.occ[idx]; word != 0 {
+			return idx<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
 // Step runs the single earliest event. It reports false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
-		return false
+	slot := int(e.now) & wheelMask
+	idx := e.bucketHead[slot]
+	if idx == 0 {
+		at, ok := e.nextTime()
+		if !ok {
+			return false
+		}
+		e.migrate(at)
+		slot = int(at) & wheelMask
+		idx = e.bucketHead[slot]
 	}
-	ev := heap.Pop(&e.events).(queuedEvent)
+	r := &e.slab[idx]
+	next := r.next
+	e.bucketHead[slot] = next
+	if next == 0 {
+		e.bucketTail[slot] = 0
+		e.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+	at, fn, h, a0, a1 := r.at, r.fn, r.h, r.a0, r.a1
+	r.fn, r.h = nil, nil
+	r.next = e.free
+	e.free = idx
+	e.pending--
 	if e.stepHook != nil {
-		e.stepHook(ev.at)
+		e.stepHook(at)
 	}
-	e.now = ev.at
-	ev.fn(e.now)
+	e.now = at
+	if h != nil {
+		h.OnEvent(at, a0, a1)
+	} else {
+		fn(at)
+	}
 	return true
 }
 
 // Run drains the event queue, advancing time until nothing remains or the
 // cycle limit is exceeded. It returns the cycle at which it stopped.
+//
+// The two stopping conditions leave now in deliberately different states:
+// parking at the limit (events remain beyond it) advances now to limit,
+// while draining the queue empty leaves now at the last event's cycle. The
+// machine relies on the latter — its end-of-run drain calls Run with a huge
+// limit, and the audit layer's end-of-simulation cycle must be the last
+// real event, not the sentinel limit. TestEngineRunSemantics pins both
+// behaviours.
 func (e *Engine) Run(limit Cycle) Cycle {
-	for len(e.events) > 0 {
-		if e.events[0].at > limit {
-			e.now = limit
+	for {
+		at, ok := e.nextTime()
+		if !ok {
+			break
+		}
+		if at > limit {
+			if e.now < limit {
+				e.now = limit
+				e.migrate(limit)
+			}
 			break
 		}
 		e.Step()
@@ -119,7 +294,8 @@ func (e *Engine) Run(limit Cycle) Cycle {
 // same cycle limit as Run. It returns true if cond was satisfied.
 func (e *Engine) RunUntil(limit Cycle, cond func() bool) bool {
 	for !cond() {
-		if len(e.events) == 0 || e.events[0].at > limit {
+		at, ok := e.nextTime()
+		if !ok || at > limit {
 			return false
 		}
 		e.Step()

@@ -250,3 +250,35 @@ func TestEventOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEngineRunSemantics pins Run's two deliberately different stopping
+// states: parking at the limit (events remain beyond it) advances now to
+// the limit, while draining the queue empty leaves now at the last event's
+// cycle. The machine's end-of-run drain depends on the empty-drain case —
+// it calls Run with a huge sentinel limit and then reads Now() as the true
+// end of simulation.
+func TestEngineRunSemantics(t *testing.T) {
+	// Park: an event beyond the limit leaves now == limit.
+	e := NewEngine()
+	e.At(30, func(Cycle) {})
+	e.At(500, func(Cycle) {})
+	if got := e.Run(100); got != 100 {
+		t.Fatalf("parked Run returned %d, want limit 100", got)
+	}
+	if e.Now() != 100 || e.Pending() != 1 {
+		t.Fatalf("after park: now=%d pending=%d, want now=100 pending=1", e.Now(), e.Pending())
+	}
+
+	// Empty drain: now stays at the last event's cycle, not the limit.
+	if got := e.Run(1_000_000); got != 500 {
+		t.Fatalf("drained Run returned %d, want last event cycle 500", got)
+	}
+	if e.Now() != 500 || e.Pending() != 0 {
+		t.Fatalf("after drain: now=%d pending=%d, want now=500 pending=0", e.Now(), e.Pending())
+	}
+
+	// Run on an already-empty queue does not advance time at all.
+	if got := e.Run(1_000_000); got != 500 {
+		t.Fatalf("empty Run returned %d, want unchanged 500", got)
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+// The overflow heap holds record indices for events scheduled at or beyond
+// now+wheelSpan, ordered by (at, seq). It is a hand-rolled index heap so
+// pushes and pops move int32 values, never boxing records through any.
+
+func (e *Engine) overflowLess(i, j int32) bool {
+	ri, rj := &e.slab[i], &e.slab[j]
+	if ri.at != rj.at {
+		return ri.at < rj.at
+	}
+	return ri.seq < rj.seq
+}
+
+func (e *Engine) overflowPush(idx int32) {
+	e.overflow = append(e.overflow, idx)
+	i := len(e.overflow) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.overflowLess(e.overflow[i], e.overflow[p]) {
+			break
+		}
+		e.overflow[i], e.overflow[p] = e.overflow[p], e.overflow[i]
+		i = p
+	}
+}
+
+func (e *Engine) overflowPop() int32 {
+	top := e.overflow[0]
+	n := len(e.overflow) - 1
+	e.overflow[0] = e.overflow[n]
+	e.overflow = e.overflow[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && e.overflowLess(e.overflow[l], e.overflow[s]) {
+			s = l
+		}
+		if r < n && e.overflowLess(e.overflow[r], e.overflow[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		e.overflow[i], e.overflow[s] = e.overflow[s], e.overflow[i]
+		i = s
+	}
+	return top
+}

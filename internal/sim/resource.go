@@ -66,10 +66,17 @@ type ThrottledPort struct {
 // NewThrottledPort builds a port that moves bytesPerCycle bytes per cycle
 // and adds a fixed pipeline latency to every transfer.
 func NewThrottledPort(name string, bytesPerCycle int, latency Cycle) *ThrottledPort {
+	p := MakeThrottledPort(name, bytesPerCycle, latency)
+	return &p
+}
+
+// MakeThrottledPort is the value-typed constructor, for callers that embed
+// ports in a contiguous slice instead of heap-allocating each one.
+func MakeThrottledPort(name string, bytesPerCycle int, latency Cycle) ThrottledPort {
 	if bytesPerCycle <= 0 {
 		bytesPerCycle = 1
 	}
-	return &ThrottledPort{
+	return ThrottledPort{
 		name:       name,
 		bytesPerCy: bytesPerCycle,
 		latency:    latency,

@@ -23,7 +23,7 @@ func (c *Counters) MarshalJSON() ([]byte, error) {
 		}
 		b.Write(key)
 		b.WriteByte(':')
-		fmt.Fprintf(&b, "%d", c.values[k])
+		fmt.Fprintf(&b, "%d", c.vals[i])
 	}
 	b.WriteByte('}')
 	return b.Bytes(), nil
@@ -42,7 +42,8 @@ func (c *Counters) UnmarshalJSON(data []byte) error {
 	if tok != json.Delim('{') {
 		return fmt.Errorf("stats: counters must be a JSON object, got %v", tok)
 	}
-	c.values = make(map[string]uint64)
+	c.index = make(map[string]int32)
+	c.vals = c.vals[:0]
 	c.order = c.order[:0]
 	for dec.More() {
 		tok, err := dec.Token()

@@ -102,6 +102,7 @@ type Replayer struct {
 	r         *bufio.Reader
 	footprint uint64
 	err       error
+	addrs     [WarpSize]uint64 // scratch backing each decoded Access.Addrs
 }
 
 // NewReplayer opens a trace for replay. footprint is the logical data
@@ -171,7 +172,7 @@ func (t *Replayer) Next() (Access, bool) {
 		Dependent:     flags&2 != 0,
 		Bytes:         int(width),
 		ComputeWeight: int(weight),
-		Addrs:         make([]uint64, n),
+		Addrs:         t.addrs[:n],
 	}
 	prev := uint64(0)
 	for i := range a.Addrs {

@@ -44,6 +44,9 @@ type Workload interface {
 	// touches, in bytes.
 	Footprint() uint64
 	// Next returns the next access; ok is false when the stream ends.
+	// The returned Access's Addrs slice is only valid until the following
+	// Next call — generators reuse one scratch buffer per stream, so a
+	// caller that retains accesses must copy the slice.
 	Next() (Access, bool)
 }
 
@@ -115,6 +118,7 @@ type base struct {
 	limit     int
 	rng       *rand.Rand
 	pcBase    uint64
+	addrs     []uint64 // per-stream scratch backing Access.Addrs
 }
 
 func newBase(name string, p Params) base {
@@ -160,11 +164,22 @@ func (b *base) done() bool {
 	return false
 }
 
-// coalesced builds a fully-coalesced access: thread t at base + t*width.
-func coalesced(pc uint64, base uint64, width int, write bool, weight int) Access {
-	addrs := make([]uint64, WarpSize)
+// scratch returns the stream's reusable WarpSize address buffer (the
+// backing store for every Access the generator emits).
+func (b *base) scratch() []uint64 {
+	if b.addrs == nil {
+		b.addrs = make([]uint64, WarpSize)
+	}
+	return b.addrs
+}
+
+// coalesced builds a fully-coalesced access: thread t at start + t*width.
+// The Addrs slice is the stream's scratch buffer, valid until the next
+// access is generated.
+func (b *base) coalesced(pc uint64, start uint64, width int, write bool, weight int) Access {
+	addrs := b.scratch()
 	for t := 0; t < WarpSize; t++ {
-		addrs[t] = base + uint64(t*width)
+		addrs[t] = start + uint64(t*width)
 	}
 	return Access{PC: pc, Write: write, Addrs: addrs, Bytes: width, ComputeWeight: weight}
 }

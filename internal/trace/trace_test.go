@@ -87,6 +87,8 @@ func TestDeterministicStreams(t *testing.T) {
 				if !ok {
 					break
 				}
+				// Addrs is the stream's scratch buffer; copy to retain.
+				a.Addrs = append([]uint64(nil), a.Addrs...)
 				out = append(out, a)
 			}
 			return out
@@ -281,6 +283,7 @@ func TestHistogramWritesScattered(t *testing.T) {
 		a, _ := w.Next()
 		if a.Write {
 			wr = a
+			break // Addrs is scratch: stop before the next access recycles it
 		}
 	}
 	if wr.Addrs == nil {
@@ -330,14 +333,15 @@ func TestSpMVGathersSkewed(t *testing.T) {
 
 func TestBFSBursts(t *testing.T) {
 	w, _ := Build("bfs", params())
-	prev, _ := w.Next()
+	first, _ := w.Next()
+	prevAddr := first.Addrs[0] // Addrs is scratch: keep the scalar, not the slice
 	sequential := 0
 	for i := 0; i < 200; i++ {
 		a, _ := w.Next()
-		if a.Addrs[0] == prev.Addrs[0]+WarpSize*4 {
+		if a.Addrs[0] == prevAddr+WarpSize*4 {
 			sequential++
 		}
-		prev = a
+		prevAddr = a.Addrs[0]
 	}
 	if sequential < 50 {
 		t.Fatalf("bfs shows too little burst locality: %d/200", sequential)

@@ -28,7 +28,7 @@ func (w *stream) Next() (Access, bool) {
 	if w.done() {
 		return Access{}, false
 	}
-	a := coalesced(w.pcBase+1, w.cursor%w.footprint, 4, false, 4)
+	a := w.coalesced(w.pcBase+1, w.cursor%w.footprint, 4, false, 4)
 	w.cursor += w.stride
 	return a, true
 }
@@ -62,10 +62,10 @@ func (w *scan) Next() (Access, bool) {
 	half := w.footprint / 2
 	var a Access
 	if w.write {
-		a = coalesced(w.pcBase+2, half+w.cursor%half, 4, true, 2)
+		a = w.coalesced(w.pcBase+2, half+w.cursor%half, 4, true, 2)
 		w.cursor += w.stride
 	} else {
-		a = coalesced(w.pcBase+1, w.cursor%half, 4, false, 2)
+		a = w.coalesced(w.pcBase+1, w.cursor%half, 4, false, 2)
 	}
 	w.write = !w.write
 	return a, true
@@ -124,7 +124,7 @@ func (w *gemm) Next() (Access, bool) {
 		tileBase = w.bBase
 		pc = w.pcBase + 2
 	}
-	a := coalesced(pc, (tileBase+w.posInTile)%w.footprint, 4, false, 12)
+	a := w.coalesced(pc, (tileBase+w.posInTile)%w.footprint, 4, false, 12)
 	w.posInTile += chunk
 	if w.posInTile >= w.tileBytes {
 		w.posInTile = 0
@@ -177,13 +177,13 @@ func (w *stencil) Next() (Access, bool) {
 	var a Access
 	switch w.phase {
 	case 0:
-		a = coalesced(w.pcBase+1, in(w.row)+w.col, 4, false, 3)
+		a = w.coalesced(w.pcBase+1, in(w.row)+w.col, 4, false, 3)
 	case 1:
-		a = coalesced(w.pcBase+2, in(w.row+1)+w.col, 4, false, 3)
+		a = w.coalesced(w.pcBase+2, in(w.row+1)+w.col, 4, false, 3)
 	case 2:
-		a = coalesced(w.pcBase+3, in(w.row+2)+w.col, 4, false, 3)
+		a = w.coalesced(w.pcBase+3, in(w.row+2)+w.col, 4, false, 3)
 	default:
-		a = coalesced(w.pcBase+4, (outBase+in(w.row+1)+w.col)%w.footprint, 4, true, 3)
+		a = w.coalesced(w.pcBase+4, (outBase+in(w.row+1)+w.col)%w.footprint, 4, true, 3)
 	}
 	w.phase++
 	if w.phase == 4 {
@@ -236,9 +236,9 @@ func (w *transpose) Next() (Access, bool) {
 	dstBase := w.footprint / 2
 	var a Access
 	if w.phase == 0 {
-		a = coalesced(w.pcBase+1, src(w.i%w.dim, w.j)%w.footprint, 4, false, 2)
+		a = w.coalesced(w.pcBase+1, src(w.i%w.dim, w.j)%w.footprint, 4, false, 2)
 	} else {
-		addrs := make([]uint64, WarpSize)
+		addrs := w.scratch()
 		for t := uint64(0); t < WarpSize; t++ {
 			// dst[j+t][i] — consecutive threads hit consecutive rows.
 			addrs[t] = (dstBase + src(w.j+t, w.i%w.dim)) % w.footprint
@@ -280,12 +280,12 @@ func (w *spmv) Next() (Access, bool) {
 	var a Access
 	if w.phase == 0 {
 		// Stream the column indices.
-		a = coalesced(w.pcBase+1, w.rowCursor%third, 4, false, 2)
+		a = w.coalesced(w.pcBase+1, w.rowCursor%third, 4, false, 2)
 		w.rowCursor += WarpSize * 4
 	} else {
 		// Gather x[col]: power-law skew (u^3) concentrates on hot entries,
 		// as real column distributions do.
-		addrs := make([]uint64, WarpSize)
+		addrs := w.scratch()
 		for t := range addrs {
 			u := w.rng.Float64()
 			col := uint64(u * u * u * float64(third/4))
@@ -321,7 +321,7 @@ func (w *bfs) Next() (Access, bool) {
 		w.cursor = clampAddr(w.rng.Uint64(), w.footprint)
 		w.cursor -= w.cursor % 128
 	}
-	a := coalesced(w.pcBase+1, w.cursor%w.footprint, 4, false, 3)
+	a := w.coalesced(w.pcBase+1, w.cursor%w.footprint, 4, false, 3)
 	w.cursor += WarpSize * 4
 	w.burstLeft--
 	return a, true
@@ -348,7 +348,7 @@ func (w *ptrchase) Next() (Access, bool) {
 	if w.done() {
 		return Access{}, false
 	}
-	addrs := make([]uint64, WarpSize)
+	addrs := w.scratch()
 	node := w.cur - w.cur%32
 	for t := range addrs {
 		addrs[t] = node + uint64(t%8)*4
@@ -373,7 +373,7 @@ func (w *random) Next() (Access, bool) {
 	if w.done() {
 		return Access{}, false
 	}
-	addrs := make([]uint64, WarpSize)
+	addrs := w.scratch()
 	for t := range addrs {
 		addrs[t] = clampAddr(w.rng.Uint64(), w.footprint)
 	}
@@ -403,10 +403,10 @@ func (w *histogram) Next() (Access, bool) {
 	table := uint64(2 << 20)
 	var a Access
 	if w.phase == 0 {
-		a = coalesced(w.pcBase+1, (table+w.cursor)%w.footprint, 4, false, 2)
+		a = w.coalesced(w.pcBase+1, (table+w.cursor)%w.footprint, 4, false, 2)
 		w.cursor += WarpSize * 4
 	} else {
-		addrs := make([]uint64, WarpSize)
+		addrs := w.scratch()
 		for t := range addrs {
 			addrs[t] = clampAddr(w.rng.Uint64()%table, w.footprint)
 		}

@@ -45,10 +45,13 @@ func (c Config) Validate() error {
 }
 
 // Crossbar is one direction of the interconnect (requests or responses).
+// Ports live in contiguous value slices: Transfer touches two of them per
+// message, so keeping them out of individual heap objects avoids a pointer
+// chase on every hop.
 type Crossbar struct {
 	cfg       Config
-	inject    []*sim.ThrottledPort
-	eject     []*sim.ThrottledPort
+	inject    []sim.ThrottledPort
+	eject     []sim.ThrottledPort
 	bisection *sim.ThrottledPort
 	hook      func(at, deliver sim.Cycle, src, dst, bytes int)
 }
@@ -70,14 +73,16 @@ func New(name string, cfg Config) *Crossbar {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	x := &Crossbar{cfg: cfg}
-	for i := 0; i < cfg.Sources; i++ {
-		x.inject = append(x.inject,
-			sim.NewThrottledPort(fmt.Sprintf("%s-in%d", name, i), cfg.PortBytesPerCycle, 0))
+	x := &Crossbar{
+		cfg:    cfg,
+		inject: make([]sim.ThrottledPort, cfg.Sources),
+		eject:  make([]sim.ThrottledPort, cfg.Destinations),
 	}
-	for i := 0; i < cfg.Destinations; i++ {
-		x.eject = append(x.eject,
-			sim.NewThrottledPort(fmt.Sprintf("%s-out%d", name, i), cfg.PortBytesPerCycle, 0))
+	for i := range x.inject {
+		x.inject[i] = sim.MakeThrottledPort(fmt.Sprintf("%s-in%d", name, i), cfg.PortBytesPerCycle, 0)
+	}
+	for i := range x.eject {
+		x.eject[i] = sim.MakeThrottledPort(fmt.Sprintf("%s-out%d", name, i), cfg.PortBytesPerCycle, 0)
 	}
 	if cfg.BisectionBytesPerCycle > 0 {
 		x.bisection = sim.NewThrottledPort(name+"-bisect", cfg.BisectionBytesPerCycle, 0)
@@ -124,8 +129,8 @@ func (x *Crossbar) EjectUtilization(dst int, elapsed sim.Cycle) float64 {
 // TotalBytes reports all bytes moved through the fabric.
 func (x *Crossbar) TotalBytes() uint64 {
 	var total uint64
-	for _, p := range x.inject {
-		total += p.BusyBytes()
+	for i := range x.inject {
+		total += x.inject[i].BusyBytes()
 	}
 	return total
 }

@@ -19,6 +19,38 @@ import (
 	"cachecraft/internal/trace"
 )
 
+// benchHandler is a minimal typed handler for event-scheduling benchmarks.
+type benchHandler struct{ n uint64 }
+
+func (h *benchHandler) OnEvent(_ sim.Cycle, a0, _ uint64) { h.n += a0 }
+
+// BenchmarkEngineSchedulePost measures the pooled typed-handler scheduling
+// path: one Post + one Step per op, zero allocations in steady state.
+func BenchmarkEngineSchedulePost(b *testing.B) {
+	eng := sim.NewEngine()
+	h := &benchHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Post(eng.Now()+sim.Cycle(i%5), h, 1, 0)
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineScheduleClosure measures the legacy closure path (At) for
+// comparison; the closure itself allocates even though the queue record is
+// pooled.
+func BenchmarkEngineScheduleClosure(b *testing.B) {
+	eng := sim.NewEngine()
+	var n uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.At(eng.Now()+sim.Cycle(i%5), func(sim.Cycle) { n++ })
+		eng.Step()
+	}
+}
+
 func BenchmarkSECDEDEncode32B(b *testing.B) {
 	codec, err := ecc.NewSECDEDSector(32, 64)
 	if err != nil {
@@ -48,6 +80,22 @@ func BenchmarkSECDEDDecodeClean(b *testing.B) {
 	}
 }
 
+func BenchmarkSECDEDEncodeInto32B(b *testing.B) {
+	codec, err := ecc.NewSECDEDSector(32, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sector := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(sector)
+	dst := make([]byte, 0, codec.RedundancyBytes())
+	b.SetBytes(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = codec.EncodeInto(dst[:0], sector)
+	}
+}
+
 func BenchmarkRSEncode32B(b *testing.B) {
 	codec, err := ecc.NewRSSector(32, 4)
 	if err != nil {
@@ -59,6 +107,22 @@ func BenchmarkRSEncode32B(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		codec.Encode(sector)
+	}
+}
+
+func BenchmarkRSEncodeInto32B(b *testing.B) {
+	codec, err := ecc.NewRSSector(32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sector := make([]byte, 32)
+	rand.New(rand.NewSource(1)).Read(sector)
+	dst := make([]byte, 0, codec.RedundancyBytes())
+	b.SetBytes(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = codec.EncodeInto(dst[:0], sector)
 	}
 }
 
@@ -169,10 +233,12 @@ func BenchmarkCoalesce(b *testing.B) {
 }
 
 // BenchmarkEndToEndSimulation measures simulator throughput (warp accesses
-// simulated per second) on the quick configuration.
+// simulated per second) on the quick configuration. accesses/sec is the
+// headline simulation-rate number tracked in BENCH_sim.json.
 func BenchmarkEndToEndSimulation(b *testing.B) {
 	cfg := config.Quick()
 	cfg.AccessesPerSM = 300
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := gpu.New(cfg, "scan", protect.NewInlineNaive)
@@ -183,5 +249,10 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(cfg.NumSMs*cfg.AccessesPerSM), "accesses/op")
+	b.StopTimer()
+	perRun := float64(cfg.NumSMs * cfg.AccessesPerSM)
+	b.ReportMetric(perRun, "accesses/op")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(perRun*float64(b.N)/s, "accesses/sec")
+	}
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# bench.sh — run the substrate micro-benchmarks and record the results in
+# BENCH_sim.json, preserving the file's frozen baseline section so the
+# before/after perf trajectory stays in one committed document.
+#
+# Usage:
+#   scripts/bench.sh                 # full run (default -benchtime=1s)
+#   BENCHTIME=1x scripts/bench.sh    # smoke run (one iteration per bench)
+#   OUT=/tmp/b.json scripts/bench.sh # write elsewhere
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1s}"
+out="${OUT:-BENCH_sim.json}"
+
+# The tracked set: event scheduling, codecs, cache, DRAM, coalescing, and
+# the end-to-end simulation rate. The Fig16 sweep benchmark is excluded —
+# it is an experiment, not a substrate microbenchmark.
+pattern='^(BenchmarkEngineSchedule|BenchmarkSECDED|BenchmarkRS|BenchmarkTaggedCheck|BenchmarkCache|BenchmarkDRAM|BenchmarkCoalesce|BenchmarkEndToEndSimulation)'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+go run ./scripts/benchjson -prev "$out" < "$raw" > "$out.tmp"
+mv "$out.tmp" "$out"
+echo "wrote $out" >&2

@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repository's BENCH_sim.json document. If an existing document is given
+// with -prev, its "baseline" section (and note) is carried forward, so the
+// file keeps the before/after pair: the frozen pre-optimization numbers
+// and the freshly measured ones.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurements.
+type Entry struct {
+	// Name is the benchmark name without the Benchmark prefix and -P
+	// GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Runs is b.N, the iteration count the timing is averaged over.
+	Runs int64 `json:"runs"`
+	// Metrics maps unit → value per op, e.g. "ns/op", "allocs/op".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the BENCH_sim.json layout.
+type Doc struct {
+	Schema   string  `json:"schema"`
+	Note     string  `json:"note,omitempty"`
+	Go       string  `json:"go"`
+	Arch     string  `json:"arch"`
+	Baseline []Entry `json:"baseline,omitempty"`
+	Current  []Entry `json:"current"`
+}
+
+func main() {
+	prev := flag.String("prev", "", "existing BENCH_sim.json whose baseline section is preserved")
+	flag.Parse()
+
+	doc := Doc{
+		Schema: "cachecraft-bench/v1",
+		Go:     runtime.Version(),
+		Arch:   runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	if *prev != "" {
+		if raw, err := os.ReadFile(*prev); err == nil {
+			var old Doc
+			if err := json.Unmarshal(raw, &old); err == nil {
+				doc.Baseline = old.Baseline
+				doc.Note = old.Note
+			}
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		e, ok := parseLine(sc.Text())
+		if ok {
+			doc.Current = append(doc.Current, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}
+
+// parseLine decodes one `go test -bench` result line:
+//
+//	BenchmarkName-8   1234   56.7 ns/op   3.2 MB/s   8 B/op   0 allocs/op
+//
+// Everything after the iteration count is (value, unit) pairs.
+func parseLine(line string) (Entry, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Entry{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Entry{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[f[i+1]] = v
+	}
+	return e, len(e.Metrics) > 0
+}
