@@ -9,15 +9,25 @@
 //	cachecraft-serve -addr :8344 -store /var/tmp/cachecraft
 //	cachecraft-serve -quick -j 4 -max-inflight 8
 //	cachecraft-serve -quick -debug-addr 127.0.0.1:6060   # pprof side listener
+//	cachecraft-serve -coordinator -store /var/tmp/cachecraft   # sweep cluster head
 //
 // Endpoints: POST /v1/simulate, POST /v1/sweep (NDJSON stream),
 // GET /v1/results/{fingerprint} (ETag/If-None-Match), GET /healthz,
 // GET /metrics. Saturation (beyond -max-inflight running plus -queue
-// waiting) returns 429. Each response carries an X-Request-Id (echoed if
-// the client sent one) that also appears in the structured access log on
-// stderr. SIGINT/SIGTERM drains gracefully: the listener closes, in-flight
-// requests finish (up to -drain), then the process exits after logging a
-// final summary taken from the same metrics registry /metrics serves.
+// waiting) returns 429 with a Retry-After header. Each response carries
+// an X-Request-Id (echoed if the client sent one) that also appears in
+// the structured access log on stderr. SIGINT/SIGTERM drains gracefully:
+// the listener closes, in-flight requests finish (up to -drain), then the
+// process exits after logging a final summary taken from the same metrics
+// registry /metrics serves.
+//
+// With -coordinator the server additionally mounts the cluster control
+// plane (POST /v1/cluster/sweep streaming the same NDJSON format as
+// /v1/sweep, plus /v1/cluster/lease, /complete, /heartbeat) and shards
+// submitted grids across cachecraft-worker processes with leases,
+// retries, and straggler re-dispatch; see docs/CLUSTER.md. With
+// -store-max-bytes the result store is pruned (oldest records first)
+// once a minute so long-running deployments don't grow disks unboundedly.
 package main
 
 import (
@@ -35,7 +45,9 @@ import (
 	"time"
 
 	"cachecraft/internal/bench"
+	"cachecraft/internal/cluster"
 	"cachecraft/internal/config"
+	"cachecraft/internal/obs"
 	"cachecraft/internal/serve"
 	"cachecraft/internal/store"
 	"cachecraft/internal/version"
@@ -52,6 +64,11 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty = off)")
 		quiet     = flag.Bool("quiet", false, "suppress per-request access logs")
+
+		coordinator = flag.Bool("coordinator", false, "mount the sweep-cluster control plane (/v1/cluster/*)")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "coordinator: lease lifetime without a heartbeat")
+		retryBudget = flag.Int("retry-budget", 5, "coordinator: dispatch attempts per cell before terminal failure")
+		storeMax    = flag.Int64("store-max-bytes", 0, "prune the store's oldest records beyond this many bytes (0 = unbounded)")
 	)
 	flag.Parse()
 	log.SetPrefix("cachecraft-serve: ")
@@ -71,6 +88,8 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("result store at %s", st.Dir())
+		stop := st.StartAutoPrune(*storeMax, time.Minute, log.Printf)
+		defer stop()
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -78,13 +97,31 @@ func main() {
 	if !*quiet {
 		accessLog = logger
 	}
+	// One registry for the whole process: the HTTP layer and (in
+	// coordinator mode) the cluster share a /metrics exposition.
+	reg := obs.NewRegistry()
+	var co *cluster.Coordinator
+	if *coordinator {
+		co = cluster.New(cluster.Options{
+			Base:        base,
+			Store:       st,
+			Registry:    reg,
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *retryBudget,
+			Logger:      logger,
+		})
+		defer co.Close()
+		log.Printf("coordinator mode: lease-ttl=%s retry-budget=%d", *leaseTTL, *retryBudget)
+	}
 	srv := serve.New(serve.Options{
 		Base:        base,
 		Runner:      r,
 		Store:       st,
 		MaxInFlight: *inflight,
 		MaxQueue:    *queue,
+		Registry:    reg,
 		Logger:      accessLog,
+		Coordinator: co,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

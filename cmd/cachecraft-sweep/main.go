@@ -13,6 +13,7 @@
 //	cachecraft-sweep -run all -store DIR # persist results; warm re-runs simulate nothing
 //	cachecraft-sweep -run all -progress  # live cell counts + ETA on stderr
 //	cachecraft-sweep -run fig4 -trace-out spans.ndjson
+//	cachecraft-sweep -run all -remote http://coordinator:8344  # shard across a cluster
 //
 // Simulations fan out across a bounded worker pool (-j, default
 // runtime.NumCPU()). Workload generation is deterministic per (seed, SM),
@@ -20,10 +21,19 @@
 // warm re-runs that simulate nothing at all; per-experiment wall times,
 // runner statistics, and -progress lines go to stderr, and -trace-out
 // spans go to the named file, so none of them disturb that guarantee.
+//
+// With -remote, cells whose workload and scheme are registered names are
+// materialized by a sweep cluster (cachecraft-serve -coordinator plus
+// cachecraft-worker fleet; see docs/CLUSTER.md) instead of simulating
+// here; custom ablation variants still run locally. The simulator is
+// deterministic and cells are content-addressed, so stdout remains
+// byte-identical to a fully local run — the startup handshake enforces
+// matching simulator revisions to keep that guarantee honest.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"cachecraft/internal/bench"
+	"cachecraft/internal/cluster"
 	"cachecraft/internal/config"
 	"cachecraft/internal/obs"
 	"cachecraft/internal/stats"
@@ -49,6 +60,7 @@ func main() {
 		progress = flag.Bool("progress", false, "report live cell progress and ETA on stderr")
 		traceOut = flag.String("trace-out", "", "write per-cell NDJSON trace spans to this file")
 		auditOn  = flag.Bool("audit", false, "run every simulation under the invariant-audit layer")
+		remote   = flag.String("remote", "", "cluster coordinator base URL; standard cells run on the cluster (empty = all local)")
 	)
 	flag.Parse()
 
@@ -88,6 +100,15 @@ func main() {
 		}
 		r.SetStore(st)
 	}
+	if *remote != "" {
+		cl := cluster.NewClient(*remote)
+		// Fail fast on an unreachable or revision-mismatched coordinator
+		// instead of silently simulating the whole grid locally.
+		if err := cl.Ping(context.Background()); err != nil {
+			fail("%v", err)
+		}
+		r.SetRemote(cl)
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -123,20 +144,21 @@ func main() {
 			fail("%s: %v", e.ID, err)
 		}
 		// Deterministic accounting on stdout, wall time and runner stats
-		// on stderr: stdout stays byte-identical across -j values and
-		// across cold vs warm -store runs. A "result" is a distinct
-		// simulation materialized either by running it or by a store hit,
-		// so the count does not depend on where results came from.
+		// on stderr: stdout stays byte-identical across -j values,
+		// across cold vs warm -store runs, and across local vs -remote
+		// execution. A "result" is a distinct simulation materialized by
+		// running it, by a store hit, or by a cluster fetch, so the
+		// count does not depend on where results came from.
 		after := r.Stats()
-		results := func(s bench.Stats) int { return s.Runs + s.StoreHits }
+		results := func(s bench.Stats) int { return s.Runs + s.StoreHits + s.RemoteHits }
 		fmt.Printf("\n[%s: %d new results; %d cached total]\n",
 			e.ID, results(after)-results(before), results(after))
 		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n",
 			e.ID, time.Since(start).Seconds())
-		fmt.Fprintf(os.Stderr, "[%s stats: +%d sims, +%d memo hits, +%d dedups, +%d store hits, +%d store misses]\n",
+		fmt.Fprintf(os.Stderr, "[%s stats: +%d sims, +%d memo hits, +%d dedups, +%d store hits, +%d store misses, +%d remote hits]\n",
 			e.ID, after.Runs-before.Runs, after.MemoHits-before.MemoHits,
 			after.Dedups-before.Dedups, after.StoreHits-before.StoreHits,
-			after.StoreMisses-before.StoreMisses)
+			after.StoreMisses-before.StoreMisses, after.RemoteHits-before.RemoteHits)
 	}
 
 	if *runID == "all" {
@@ -164,8 +186,8 @@ func startProgress(r *bench.Runner) (stop func()) {
 	line := func() string {
 		s := r.Stats()
 		elapsed := time.Since(start)
-		out := fmt.Sprintf("[progress] cells %d/%d (sims %d, store hits %d, memo %d) elapsed %s",
-			s.Finished, s.Started, s.Runs, s.StoreHits, s.MemoHits,
+		out := fmt.Sprintf("[progress] cells %d/%d (sims %d, store hits %d, memo %d, remote %d) elapsed %s",
+			s.Finished, s.Started, s.Runs, s.StoreHits, s.MemoHits, s.RemoteHits,
 			elapsed.Round(time.Second))
 		if s.Finished > 0 && s.Started > s.Finished {
 			per := elapsed / time.Duration(s.Finished)

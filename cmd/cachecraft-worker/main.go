@@ -1,0 +1,105 @@
+// cachecraft-worker is the pull side of the sweep cluster: it polls a
+// coordinator (cachecraft-serve -coordinator) for leases — batches of
+// fingerprint-keyed simulation cells — runs them through a local
+// bench.Runner, pushes each result back the moment it finishes, and
+// heartbeats to keep its leases alive. Kill a worker at any point: its
+// leases expire, the coordinator re-queues the unfinished cells, and the
+// surviving workers pick them up. See docs/CLUSTER.md.
+//
+// Usage:
+//
+//	cachecraft-worker -coordinator http://host:8344
+//	cachecraft-worker -coordinator http://host:8344 -j 8 -store /var/tmp/cachecraft -store-max-bytes 1073741824
+//	cachecraft-worker -coordinator http://host:8344 -name rack3-gpu0 -audit
+//
+// Cells carry their full GPU configuration, so a worker needs no
+// agreement with the coordinator beyond the simulator revision (enforced
+// at lease time — a mismatched worker exits rather than poison the
+// content-addressed store). A local -store lets a worker answer
+// re-leased cells from disk without re-simulating, and -store-max-bytes
+// keeps that cache from growing without bound.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"cachecraft/internal/bench"
+	"cachecraft/internal/cluster"
+	"cachecraft/internal/config"
+	"cachecraft/internal/store"
+	"cachecraft/internal/version"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator base URL (required), e.g. http://host:8344")
+		name        = flag.String("name", "", "worker name for leases and metrics (default <hostname>-<pid>)")
+		jobs        = flag.Int("j", runtime.NumCPU(), "max simulations running concurrently")
+		batch       = flag.Int("batch", 0, "max cells per lease (0 = same as -j)")
+		poll        = flag.Duration("poll", 2*time.Second, "max idle-poll backoff between empty lease polls")
+		storeDir    = flag.String("store", "", "local persistent result store directory (empty = none)")
+		storeMax    = flag.Int64("store-max-bytes", 0, "prune the local store's oldest records beyond this many bytes (0 = unbounded)")
+		auditOn     = flag.Bool("audit", false, "run every simulation under the invariant-audit layer")
+		quiet       = flag.Bool("quiet", false, "suppress per-lease progress logs")
+	)
+	flag.Parse()
+	log.SetPrefix("cachecraft-worker: ")
+	log.SetFlags(log.LstdFlags)
+	if *coordinator == "" {
+		log.Fatal("-coordinator is required")
+	}
+
+	// The base config is a placeholder: leased cells register their own
+	// configuration under their fingerprint before running.
+	r := bench.NewRunner(config.Default())
+	r.SetWorkers(*jobs)
+	r.SetAudit(*auditOn)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.SetStore(st)
+		log.Printf("local result store at %s", st.Dir())
+		stop := st.StartAutoPrune(*storeMax, time.Minute, log.Printf)
+		defer stop()
+	}
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Runner:      r,
+		Batch:       *batch,
+		PollMax:     *poll,
+		Logger:      logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("%s worker %q polling %s (workers=%d)", version.String(), w.Name(), *coordinator, *jobs)
+	err = w.Run(ctx)
+	switch {
+	case errors.Is(err, context.Canceled):
+		st := r.Stats()
+		log.Printf("signal received; exiting (ran %d sims, %d store hits, %d memo hits)",
+			st.Runs, st.StoreHits, st.MemoHits)
+	case err != nil:
+		log.Fatal(err)
+	}
+}

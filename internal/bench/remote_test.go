@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/gpu"
+)
+
+// stubRemote scripts the Remote interface: which cells it claims to
+// handle, and whether fetches succeed.
+type stubRemote struct {
+	mu    sync.Mutex
+	can   func(workload, scheme string) bool
+	fail  error
+	calls int
+}
+
+func (s *stubRemote) Can(workload, scheme string) bool {
+	if s.can == nil {
+		return true
+	}
+	return s.can(workload, scheme)
+}
+
+func (s *stubRemote) Run(ctx context.Context, cfg config.GPU, workload, scheme string) (gpu.Result, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	if s.fail != nil {
+		return gpu.Result{}, s.fail
+	}
+	// A recognizably synthetic result: remote answers are trusted as-is,
+	// so the runner must hand back exactly these bytes.
+	return gpu.Result{Workload: workload, Scheme: scheme, Cycles: 424242}, nil
+}
+
+func (s *stubRemote) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func TestRemoteTierSatisfiesCalls(t *testing.T) {
+	r := NewRunner(quickBase())
+	rem := &stubRemote{}
+	r.SetRemote(rem)
+	s := Spec{CfgID: "base", Workload: "stream", Variant: "none"}
+	res, err := r.Result(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 424242 {
+		t.Fatalf("result did not come from the remote: %+v", res)
+	}
+	st := r.Stats()
+	if st.RemoteHits != 1 || st.Runs != 0 {
+		t.Fatalf("stats = %+v, want 1 remote hit and 0 local runs", st)
+	}
+	// The memo still dedups: a second call never re-fetches.
+	if _, err := r.Result(s); err != nil {
+		t.Fatal(err)
+	}
+	if rem.count() != 1 {
+		t.Fatalf("remote fetched %d times, want 1", rem.count())
+	}
+	if st := r.Stats(); st.MemoHits != 1 {
+		t.Fatalf("stats = %+v, want a memo hit", st)
+	}
+}
+
+func TestRemoteFailureFallsBackToLocal(t *testing.T) {
+	r := NewRunner(quickBase())
+	rem := &stubRemote{fail: errors.New("coordinator on fire")}
+	r.SetRemote(rem)
+	res, err := r.Result(Spec{CfgID: "base", Workload: "stream", Variant: "none"})
+	if err != nil {
+		t.Fatalf("remote failure must not fail the call: %v", err)
+	}
+	if res.Cycles == 0 || res.Cycles == 424242 {
+		t.Fatalf("fallback did not simulate locally: %+v", res)
+	}
+	st := r.Stats()
+	if st.RemoteErrors != 1 || st.Runs != 1 || st.RemoteHits != 0 {
+		t.Fatalf("stats = %+v, want 1 remote error and 1 local run", st)
+	}
+}
+
+// TestRemoteSkipsInexpressibleCells: cells the remote disclaims — custom
+// in-process variants — run locally without a remote attempt, so -remote
+// stays transparent for ablation experiments.
+func TestRemoteSkipsInexpressibleCells(t *testing.T) {
+	r := NewRunner(quickBase())
+	rem := &stubRemote{can: func(workload, scheme string) bool { return false }}
+	r.SetRemote(rem)
+	if _, err := r.Result(Spec{CfgID: "base", Workload: "stream", Variant: "none"}); err != nil {
+		t.Fatal(err)
+	}
+	if rem.count() != 0 {
+		t.Fatal("remote consulted for a cell it disclaimed")
+	}
+	st := r.Stats()
+	if st.Runs != 1 || st.RemoteHits != 0 || st.RemoteErrors != 0 {
+		t.Fatalf("stats = %+v, want exactly 1 local run", st)
+	}
+}
+
+// TestRemoteResultsPersistLocally: a remote hit lands in the local store,
+// so the next cold process needs neither the network nor the simulator.
+func TestRemoteResultsPersistLocally(t *testing.T) {
+	r := NewRunner(quickBase())
+	st := &stubStore{}
+	r.SetStore(st)
+	r.SetRemote(&stubRemote{})
+	if _, err := r.Result(Spec{CfgID: "base", Workload: "stream", Variant: "none"}); err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := st.Lookup(quickBase(), "stream", "none"); !ok || res.Cycles != 424242 {
+		t.Fatalf("remote result not persisted: ok=%v res=%+v", ok, res)
+	}
+}

@@ -53,16 +53,36 @@ type ResultStore interface {
 	Save(cfg config.GPU, workload, scheme string, res gpu.Result) error
 }
 
+// Remote is the distributed-execution hook beneath the runner: a backend
+// (typically a cluster coordinator, see internal/cluster) that
+// materializes a cell on another machine. It is consulted after the memo
+// and the persistent store both miss, and only for cells it declares
+// expressible via Can — custom scheme variants registered as in-process
+// factories cannot travel over the wire and always simulate locally.
+// A remote failure falls back to local simulation, so attaching a remote
+// never changes results, only where they are computed. Implementations
+// must be safe for concurrent use.
+type Remote interface {
+	// Can reports whether the backend can materialize the given
+	// (workload, scheme) pair. Configurations always travel (they are
+	// shipped in full), so expressibility depends only on the names.
+	Can(workload, scheme string) bool
+	// Run materializes one cell remotely.
+	Run(ctx context.Context, cfg config.GPU, workload, scheme string) (gpu.Result, error)
+}
+
 // Stats is a snapshot of the runner's accounting.
 type Stats struct {
-	Runs        int // simulations actually executed (successfully)
-	MemoHits    int // requests answered from the in-memory memo
-	Dedups      int // requests that piggybacked on an in-flight simulation
-	StoreHits   int // requests answered from the persistent store
-	StoreMisses int // persistent-store lookups that missed
-	StoreErrors int // failed persist attempts (results still returned)
-	Started     int // ResultCtx calls begun (cells requested)
-	Finished    int // ResultCtx calls returned, any outcome
+	Runs         int // simulations actually executed (successfully)
+	MemoHits     int // requests answered from the in-memory memo
+	Dedups       int // requests that piggybacked on an in-flight simulation
+	StoreHits    int // requests answered from the persistent store
+	StoreMisses  int // persistent-store lookups that missed
+	StoreErrors  int // failed persist attempts (results still returned)
+	RemoteHits   int // requests materialized by the remote backend
+	RemoteErrors int // remote attempts that failed and fell back to local
+	Started      int // ResultCtx calls begun (cells requested)
+	Finished     int // ResultCtx calls returned, any outcome
 }
 
 // Runner executes simulations on demand, memoizes results, and bounds
@@ -79,6 +99,7 @@ type Runner struct {
 	configs map[string]config.GPU
 	facts   map[string]protect.Factory
 	store   ResultStore   // optional durable tier (nil = disabled)
+	remote  Remote        // optional distributed tier (nil = disabled)
 	tracer  *obs.Tracer   // optional span tracing (nil = off, zero cost)
 	audit   bool          // run simulations under the invariant checker
 	stat    Stats         // counters; stat.Runs mirrors Runs()
@@ -131,6 +152,18 @@ func (r *Runner) SetStore(s ResultStore) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.store = s
+}
+
+// SetRemote attaches a distributed-execution backend beneath the memo and
+// store (nil detaches it). Cells the backend can express are fetched from
+// it instead of simulating locally; inexpressible cells and remote
+// failures simulate locally as before, so results are identical either
+// way. Attach it before fanning work out; in-flight cells use whatever
+// was attached when they were requested.
+func (r *Runner) SetRemote(rem Remote) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.remote = rem
 }
 
 // SetTracer attaches span tracing to the runner (nil detaches it). Each
@@ -248,11 +281,12 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 		c := &call{done: make(chan struct{})}
 		r.memo[s] = c
 		st := r.store
+		rem := r.remote
 		slots := r.slots
 		tr := r.tracer
 		aud := r.audit
 		r.mu.Unlock()
-		return r.lead(ctx, s, c, cfg, f, st, slots, tr, aud)
+		return r.lead(ctx, s, c, cfg, f, st, rem, slots, tr, aud)
 	}
 }
 
@@ -261,7 +295,7 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 // whole cell in a span with one child per phase, so a trace shows exactly
 // where a cell's wall time went.
 func (r *Runner) lead(ctx context.Context, s Spec, c *call, cfg config.GPU,
-	f protect.Factory, st ResultStore, slots chan struct{}, tr *obs.Tracer, aud bool) (gpu.Result, error) {
+	f protect.Factory, st ResultStore, rem Remote, slots chan struct{}, tr *obs.Tracer, aud bool) (gpu.Result, error) {
 	ctx, cell := tr.Start(ctx, "cell",
 		obs.String("config", s.CfgID),
 		obs.String("workload", s.Workload),
@@ -285,6 +319,42 @@ func (r *Runner) lead(ctx context.Context, s Spec, c *call, cfg config.GPU,
 		}
 		r.mu.Lock()
 		r.stat.StoreMisses++
+		r.mu.Unlock()
+	}
+
+	// Distributed tier: an expressible cell is fetched from the remote
+	// backend — like a store hit, it satisfies the call (and everyone
+	// singleflighted onto it) without consuming a local worker slot. The
+	// fetched result is persisted locally so the next cold process skips
+	// both the simulation and the network. A remote failure is recorded
+	// and the cell falls through to local simulation.
+	if rem != nil && rem.Can(s.Workload, s.Variant) {
+		_, rs := tr.Start(ctx, "remote")
+		res, err := rem.Run(ctx, cfg, s.Workload, s.Variant)
+		rs.SetAttr(obs.Bool("ok", err == nil))
+		rs.End()
+		if err == nil {
+			r.mu.Lock()
+			r.stat.RemoteHits++
+			r.mu.Unlock()
+			if st != nil {
+				if perr := st.Save(cfg, s.Workload, s.Variant, res); perr != nil {
+					r.mu.Lock()
+					r.stat.StoreErrors++
+					r.mu.Unlock()
+				}
+			}
+			cell.SetAttr(obs.String("outcome", "remote"))
+			r.finish(s, c, res, nil, false)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			cell.SetAttr(obs.String("outcome", "abandoned"))
+			r.finish(s, c, gpu.Result{}, errAbandoned, false)
+			return gpu.Result{}, ctx.Err()
+		}
+		r.mu.Lock()
+		r.stat.RemoteErrors++
 		r.mu.Unlock()
 	}
 

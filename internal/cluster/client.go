@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/gpu"
+	"cachecraft/internal/store"
+	"cachecraft/internal/version"
+)
+
+// Client drives a cluster coordinator from the consumer side. It
+// implements bench.Remote, so a bench.Runner with SetRemote(client)
+// transparently materializes expressible cells on the cluster: results
+// are deterministic and content-addressed, so a remote run's output is
+// byte-identical to a local one — only the machines doing the simulating
+// change.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the coordinator at base (e.g.
+// "http://host:8344").
+func NewClient(base string) *Client {
+	hc := &http.Client{}
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		// A sweep fans out one streaming request per cell; keep the
+		// connections reusable instead of thrashing the default two
+		// idle conns per host.
+		tc := t.Clone()
+		tc.MaxIdleConnsPerHost = 64
+		hc.Transport = tc
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Can implements bench.Remote: only registered workload and scheme names
+// travel over the wire (custom in-process variants run locally).
+func (c *Client) Can(workload, scheme string) bool {
+	return Expressible(workload, scheme)
+}
+
+// Ping verifies the coordinator is reachable and runs the same simulator
+// revision as this process. A revision mismatch is fatal for callers that
+// promise byte-identical output, so it is an error, not a warning.
+func (c *Client) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: coordinator unreachable: %w", err)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: coordinator healthz: HTTP %d", resp.StatusCode)
+	}
+	want := "ok " + version.String()
+	if got := strings.TrimSpace(string(body)); got != want {
+		return fmt.Errorf("cluster: simulator revision mismatch: coordinator says %q, this process is %q", got, want)
+	}
+	return nil
+}
+
+// Run implements bench.Remote: it submits a single-cell sweep and decodes
+// the one streamed record. Saturation (429) backs off as the Retry-After
+// header asks and retries; an error line or a truncated stream is an
+// error the runner will recover from by simulating locally.
+func (c *Client) Run(ctx context.Context, cfg config.GPU, workload, scheme string) (gpu.Result, error) {
+	req := SweepRequest{Workloads: []string{workload}, Schemes: []string{scheme}, Config: &cfg}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	backoff := time.Second
+	for attempt := 0; ; attempt++ {
+		res, retry, err := c.runOnce(ctx, raw)
+		if err == nil {
+			return res, nil
+		}
+		if !retry || attempt >= 4 || ctx.Err() != nil {
+			return gpu.Result{}, err
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return gpu.Result{}, ctx.Err()
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+}
+
+// runOnce performs one sweep request; retry reports whether the failure
+// is a saturation signal worth waiting out.
+func (c *Client) runOnce(ctx context.Context, body []byte) (gpu.Result, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/cluster/sweep", bytes.NewReader(body))
+	if err != nil {
+		return gpu.Result{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return gpu.Result{}, false, fmt.Errorf("cluster: sweep: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		wait := retryAfterSeconds(resp.Header)
+		if wait < 1 {
+			wait = 1
+		}
+		return gpu.Result{}, true, fmt.Errorf("cluster: coordinator saturated (retry after %ds)", wait)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return gpu.Result{}, false, fmt.Errorf("cluster: sweep: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var probe struct {
+			Done        bool   `json:"done"`
+			Error       string `json:"error"`
+			Fingerprint string `json:"fingerprint"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return gpu.Result{}, false, fmt.Errorf("cluster: bad stream line: %w", err)
+		}
+		switch {
+		case probe.Error != "":
+			return gpu.Result{}, false, fmt.Errorf("cluster: remote cell failed: %s", probe.Error)
+		case probe.Done:
+			return gpu.Result{}, false, fmt.Errorf("cluster: stream ended without a record")
+		case probe.Fingerprint != "":
+			var rec store.Record
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				return gpu.Result{}, false, fmt.Errorf("cluster: bad record line: %w", err)
+			}
+			if rec.Sim != version.String() {
+				return gpu.Result{}, false, fmt.Errorf("cluster: record from simulator revision %q, want %q",
+					rec.Sim, version.String())
+			}
+			return rec.Result, false, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return gpu.Result{}, false, fmt.Errorf("cluster: stream: %w", err)
+	}
+	return gpu.Result{}, false, fmt.Errorf("cluster: stream truncated before any record")
+}

@@ -1,0 +1,138 @@
+// Package cluster shards a sweep grid across worker processes over HTTP.
+//
+// The coordinator side expands sweep requests into fingerprint-keyed
+// cells (one per configuration × workload × scheme), skips cells the
+// persistent store already holds, and hands the rest out as leases —
+// batches of cells with a deadline — to workers that poll for work.
+// Workers run their cells through a local bench.Runner, push each result
+// back as it completes, and heartbeat to keep their leases alive. A lease
+// that expires (worker death) or a cell a worker reports as failed is
+// re-queued with capped exponential backoff until a retry budget is
+// exhausted; when the pending queue drains, still-leased stragglers are
+// speculatively re-dispatched to idle workers and the first result wins.
+//
+// First-result-wins is safe because cells are content-addressed: a cell's
+// fingerprint covers the simulator revision, the full configuration, the
+// workload, and the scheme, and the simulator is deterministic, so two
+// workers computing the same fingerprint produce byte-identical records.
+// Duplicated work is wasted time, never wrong answers. docs/CLUSTER.md
+// documents the protocol, the failure matrix, and this determinism
+// argument in full.
+//
+// Wire endpoints (mounted into internal/serve by Coordinator.Register):
+//
+//	POST /v1/cluster/sweep      grid → NDJSON records + {"done":true} trailer
+//	POST /v1/cluster/lease      worker polls for a batch of cells
+//	POST /v1/cluster/complete   worker pushes per-cell results
+//	POST /v1/cluster/heartbeat  worker renews a lease deadline
+package cluster
+
+import (
+	"cachecraft/internal/config"
+	"cachecraft/internal/schemes"
+	"cachecraft/internal/store"
+	"cachecraft/internal/trace"
+)
+
+// Cell is one simulation the cluster must materialize. The configuration
+// travels in full (it is plain data), so workers need no out-of-band
+// agreement about sweep parameters; the fingerprint is the cell's
+// identity everywhere — queue key, store address, and the join point for
+// duplicate results.
+type Cell struct {
+	Fingerprint string     `json:"fingerprint"`
+	Config      config.GPU `json:"config"`
+	Workload    string     `json:"workload"`
+	Scheme      string     `json:"scheme"`
+}
+
+// NewCell builds a cell with its canonical fingerprint.
+func NewCell(cfg config.GPU, workload, scheme string) Cell {
+	return Cell{
+		Fingerprint: store.Fingerprint(cfg, workload, scheme),
+		Config:      cfg,
+		Workload:    workload,
+		Scheme:      scheme,
+	}
+}
+
+// Expressible reports whether a (workload, scheme) pair can travel over
+// the cluster protocol: both must be registered names, because workers
+// reconstruct the scheme from its name. Custom in-process variants
+// (bench.Runner.AddVariant closures) are not expressible and run locally.
+func Expressible(workload, scheme string) bool {
+	return nameIn(workload, trace.Names()) && nameIn(scheme, schemes.All())
+}
+
+func nameIn(name string, all []string) bool {
+	for _, n := range all {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SweepRequest is the body of POST /v1/cluster/sweep. Empty lists default
+// to the full registered sets; a nil Config uses the coordinator's base
+// configuration, so the endpoint accepts exactly the grids /v1/sweep does
+// plus configuration overrides (sensitivity sweeps).
+type SweepRequest struct {
+	Workloads []string    `json:"workloads"`
+	Schemes   []string    `json:"schemes"`
+	Config    *config.GPU `json:"config,omitempty"`
+}
+
+// LeaseRequest is the body of POST /v1/cluster/lease.
+type LeaseRequest struct {
+	// Worker names the polling worker (metrics label, straggler
+	// re-dispatch identity). Required.
+	Worker string `json:"worker"`
+	// Max bounds how many cells the worker wants (clamped to [1, 256]).
+	Max int `json:"max"`
+	// Sim is the worker's version.String(). A mismatch is refused with
+	// 409: a mixed-revision cluster would poison the content-addressed
+	// store with records no one can look up.
+	Sim string `json:"sim"`
+}
+
+// LeaseGrant is the 200 response to a lease poll. A poll that finds no
+// work gets 204 with a Retry-After header instead.
+type LeaseGrant struct {
+	LeaseID string `json:"lease_id"`
+	// TTLMs is the lease lifetime in milliseconds; heartbeats reset it.
+	TTLMs int64  `json:"ttl_ms"`
+	Cells []Cell `json:"cells"`
+}
+
+// HeartbeatRequest is the body of POST /v1/cluster/heartbeat. An expired
+// or unknown lease answers 410 Gone; the worker's cells are already being
+// re-dispatched and it should finish quietly (its results are still
+// accepted — first result wins).
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// CellResult is one element of a complete push: either a full record
+// (success) or a fingerprint plus error (failure).
+type CellResult struct {
+	Record      *store.Record `json:"record,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// CompleteRequest is the body of POST /v1/cluster/complete. Results for
+// cells that are already done (a straggler losing the first-result-wins
+// race) or for leases that no longer hold the cell are counted in Ignored
+// rather than erroring, so workers never need to care whether they won.
+type CompleteRequest struct {
+	LeaseID string       `json:"lease_id"`
+	Worker  string       `json:"worker"`
+	Results []CellResult `json:"results"`
+}
+
+// CompleteResponse reports how a complete push was applied.
+type CompleteResponse struct {
+	Accepted int `json:"accepted"`
+	Ignored  int `json:"ignored"`
+}

@@ -1,0 +1,524 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/obs"
+	"cachecraft/internal/store"
+	"cachecraft/internal/version"
+)
+
+// ErrClosed reports that the coordinator has shut down; waiting clients
+// unblock with it instead of hanging on cells no one will run.
+var ErrClosed = errors.New("cluster: coordinator closed")
+
+// Options configures a Coordinator.
+type Options struct {
+	// Base is the default GPU configuration for sweep requests that do
+	// not override it.
+	Base config.GPU
+	// Store is the durable result cache (optional). Cells already in the
+	// store are answered without dispatching; completed cells are
+	// persisted into it.
+	Store *store.Store
+	// Registry receives the coordinator's metrics (a fresh one is
+	// created when nil). Pass the serving process's registry so cluster
+	// counters appear on the same /metrics exposition.
+	Registry *obs.Registry
+	// LeaseTTL is how long a lease lives without a heartbeat
+	// (default 15s). Expired leases re-queue their unfinished cells.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times one cell may be dispatched
+	// before it fails terminally (default 5). Lease expiry and reported
+	// failures both consume attempts.
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the capped exponential backoff a
+	// re-queued cell waits before redispatch (defaults 250ms and 5s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// DisableSpeculation turns off straggler re-dispatch (on by
+	// default): when the pending queue is empty, an idle worker may be
+	// handed a copy of a cell another worker is still running — first
+	// result wins, which fingerprints make safe.
+	DisableSpeculation bool
+	// Logger reports persist failures and lease churn (nil = silent).
+	Logger *slog.Logger
+}
+
+// cellState is one cell's lifecycle record: pending (queued, possibly
+// backoff-gated by notBefore), leased (held by one or more leases — more
+// than one only under straggler speculation), or done (result or terminal
+// error published via doneCh). All fields are guarded by Coordinator.mu
+// until doneCh closes, after which the outcome fields are immutable.
+type cellState struct {
+	cell      Cell
+	attempts  int               // dispatch attempts consumed by failure/expiry
+	notBefore time.Time         // pending cells wait out their backoff here
+	leases    map[string]string // lease id → worker currently holding the cell
+	done      bool
+	body      []byte // canonical record bytes (success)
+	sum       string
+	errMsg    string // terminal failure (attempts exhausted)
+	doneCh    chan struct{}
+}
+
+// lease is one worker's claim on a batch of cells.
+type lease struct {
+	id       string
+	worker   string
+	cells    []string // fingerprints
+	granted  time.Time
+	deadline time.Time
+}
+
+// Outcome is what a waiting client receives for one cell: the canonical
+// record bytes, or a terminal error message.
+type Outcome struct {
+	Cell Cell
+	Body []byte
+	Sum  string
+	Err  string
+}
+
+// Coordinator owns the cluster's cell queue, leases, and results. Create
+// with New; mount its HTTP surface with Register; Close on shutdown.
+type Coordinator struct {
+	opt Options
+	m   *metrics
+
+	mu     sync.Mutex
+	cells  map[string]*cellState
+	queue  []string // pending fingerprints in arrival order
+	leases map[string]*lease
+
+	closed     chan struct{}
+	closeOnce  sync.Once
+	reaperDone chan struct{}
+}
+
+// New builds a coordinator and starts its lease reaper.
+func New(opt Options) *Coordinator {
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 15 * time.Second
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 5
+	}
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = 250 * time.Millisecond
+	}
+	if opt.BackoffCap <= 0 {
+		opt.BackoffCap = 5 * time.Second
+	}
+	if opt.Registry == nil {
+		opt.Registry = obs.NewRegistry()
+	}
+	c := &Coordinator{
+		opt:        opt,
+		cells:      make(map[string]*cellState),
+		leases:     make(map[string]*lease),
+		closed:     make(chan struct{}),
+		reaperDone: make(chan struct{}),
+	}
+	c.m = newMetrics(opt.Registry, c)
+	go c.reaper()
+	return c
+}
+
+// Close shuts the coordinator down: the reaper stops and every waiting
+// client unblocks with ErrClosed. Cells and results already published
+// remain readable.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	<-c.reaperDone
+}
+
+// reaper expires leases even when no worker is polling (all workers
+// dead), so waiting sweep clients still see their cells re-queued and —
+// once the retry budget is gone — terminally failed rather than hanging.
+// Lease, Heartbeat, and Complete also reap lazily, which is what drives
+// expiry at sub-tick latency while traffic flows.
+func (c *Coordinator) reaper() {
+	defer close(c.reaperDone)
+	interval := c.opt.LeaseTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-tick.C:
+			c.mu.Lock()
+			c.reapLocked(time.Now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Submit registers one cell with the cluster. Cells already known (from
+// this or any concurrent sweep) are joined, cells the store already holds
+// complete immediately, and everything else is queued for dispatch.
+func (c *Coordinator) Submit(cell Cell) error {
+	if cell.Fingerprint == "" {
+		return fmt.Errorf("cluster: cell has no fingerprint")
+	}
+	if !Expressible(cell.Workload, cell.Scheme) {
+		return fmt.Errorf("cluster: cell %s/%s is not expressible (unknown workload or scheme)",
+			cell.Workload, cell.Scheme)
+	}
+	// Probe the store outside the lock (it reads the filesystem). A
+	// record that lands between this probe and the queue insert just
+	// means the cell runs once more — wasted work, not a wrong answer.
+	var (
+		body []byte
+		sum  string
+		hit  bool
+	)
+	if c.opt.Store != nil {
+		body, sum, hit = c.opt.Store.GetRaw(cell.Fingerprint)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cells[cell.Fingerprint]; ok {
+		return nil
+	}
+	cs := &cellState{
+		cell:   cell,
+		leases: make(map[string]string),
+		doneCh: make(chan struct{}),
+	}
+	c.cells[cell.Fingerprint] = cs
+	if hit {
+		cs.done, cs.body, cs.sum = true, body, sum
+		close(cs.doneCh)
+		c.m.storeSkips.Inc()
+		return nil
+	}
+	c.queue = append(c.queue, cell.Fingerprint)
+	c.m.queued.Inc()
+	return nil
+}
+
+// Wait blocks until the given cell completes (first result wins), the
+// caller's context ends, or the coordinator closes.
+func (c *Coordinator) Wait(ctx context.Context, fp string) (Outcome, error) {
+	c.mu.Lock()
+	cs, ok := c.cells[fp]
+	c.mu.Unlock()
+	if !ok {
+		return Outcome{}, fmt.Errorf("cluster: unknown cell %q", fp)
+	}
+	select {
+	case <-cs.doneCh:
+	case <-ctx.Done():
+		return Outcome{}, ctx.Err()
+	case <-c.closed:
+		return Outcome{}, ErrClosed
+	}
+	// Outcome fields are immutable once doneCh is closed.
+	return Outcome{Cell: cs.cell, Body: cs.body, Sum: cs.sum, Err: cs.errMsg}, nil
+}
+
+// Lease hands out up to max pending cells to the named worker, or — with
+// the queue empty — speculatively re-dispatches cells other workers are
+// still holding (straggler defense; first result wins). It returns nil
+// when there is nothing to hand out.
+func (c *Coordinator) Lease(worker string, max int) *LeaseGrant {
+	if max < 1 {
+		max = 1
+	}
+	if max > 256 {
+		max = 256
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	var take []*cellState
+	rest := c.queue[:0]
+	for _, fp := range c.queue {
+		cs := c.cells[fp]
+		if cs == nil || cs.done || len(cs.leases) > 0 {
+			continue // completed or re-claimed elsewhere; drop from queue
+		}
+		if len(take) < max && !cs.notBefore.After(now) {
+			take = append(take, cs)
+		} else {
+			rest = append(rest, fp)
+		}
+	}
+	c.queue = rest
+
+	speculated := 0
+	if len(take) == 0 && !c.opt.DisableSpeculation {
+		for _, cs := range c.cells {
+			if len(take) >= max {
+				break
+			}
+			// Exactly one holder, and not this worker: hand out one
+			// duplicate so a straggling or silently-dead worker cannot
+			// stall the tail of the grid for a full lease TTL.
+			if cs.done || len(cs.leases) != 1 {
+				continue
+			}
+			if holderOf(cs) == worker {
+				continue
+			}
+			take = append(take, cs)
+			speculated++
+		}
+	}
+	if len(take) == 0 {
+		return nil
+	}
+
+	l := &lease{
+		id:       obs.NewID(),
+		worker:   worker,
+		granted:  now,
+		deadline: now.Add(c.opt.LeaseTTL),
+	}
+	grant := &LeaseGrant{LeaseID: l.id, TTLMs: c.opt.LeaseTTL.Milliseconds()}
+	for _, cs := range take {
+		l.cells = append(l.cells, cs.cell.Fingerprint)
+		cs.leases[l.id] = worker
+		grant.Cells = append(grant.Cells, cs.cell)
+	}
+	c.leases[l.id] = l
+	c.m.leased.Add(uint64(len(take)))
+	if speculated > 0 {
+		c.m.redispatched.Add(uint64(speculated))
+	}
+	c.m.workerLeases.With(worker).Add(1)
+	return grant
+}
+
+func holderOf(cs *cellState) string {
+	for _, w := range cs.leases {
+		return w
+	}
+	return ""
+}
+
+// Heartbeat renews a lease's deadline. It reports false for a lease that
+// has already expired or been released — the worker should stop
+// heartbeating and simply finish its cells (results are still accepted).
+func (c *Coordinator) Heartbeat(leaseID string) bool {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return false
+	}
+	l.deadline = now.Add(c.opt.LeaseTTL)
+	return true
+}
+
+// Complete applies a worker's pushed results. Successful records are
+// accepted for any known, unfinished cell regardless of lease state
+// (first result wins — a worker whose lease expired still did correct
+// work); failures only count against leases that still hold the cell, so
+// an expiry the reaper already charged cannot double-bill the retry
+// budget.
+func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
+	now := time.Now()
+	var (
+		resp CompleteResponse
+		puts []store.Record
+	)
+	c.mu.Lock()
+	c.reapLocked(now)
+	l := c.leases[req.LeaseID]
+	for _, res := range req.Results {
+		switch {
+		case res.Record != nil:
+			rec := *res.Record
+			cs := c.cells[rec.Fingerprint]
+			if cs == nil || cs.done || rec.Sim != version.String() ||
+				rec.Workload != cs.cell.Workload || rec.Scheme != cs.cell.Scheme {
+				resp.Ignored++
+				continue
+			}
+			body, sum, err := store.EncodeRecord(rec)
+			if err != nil {
+				resp.Ignored++
+				continue
+			}
+			c.finishLocked(cs, body, sum, "", req.Worker)
+			if l != nil {
+				c.m.leaseSeconds.Observe(now.Sub(l.granted).Seconds())
+			}
+			if c.opt.Store != nil {
+				puts = append(puts, rec)
+			}
+			resp.Accepted++
+		case res.Fingerprint != "":
+			cs := c.cells[res.Fingerprint]
+			if cs == nil || cs.done {
+				resp.Ignored++
+				continue
+			}
+			if _, held := cs.leases[req.LeaseID]; !held {
+				resp.Ignored++ // lease expired; the reaper already charged this attempt
+				continue
+			}
+			c.failAttemptLocked(cs, req.LeaseID, res.Error, now)
+			resp.Accepted++
+		default:
+			resp.Ignored++
+		}
+	}
+	if l != nil {
+		c.maybeReleaseLocked(l)
+	}
+	c.mu.Unlock()
+	// Persist outside the lock: Put does disk I/O, and a full disk must
+	// not stall the control plane — a failed persist only costs a future
+	// re-run.
+	for _, rec := range puts {
+		if err := c.opt.Store.Put(rec); err != nil {
+			c.logf("persist %s: %v", rec.Fingerprint, err)
+		}
+	}
+	return resp
+}
+
+// finishLocked publishes a cell's terminal outcome (result or error).
+func (c *Coordinator) finishLocked(cs *cellState, body []byte, sum, errMsg, worker string) {
+	cs.done = true
+	cs.body, cs.sum, cs.errMsg = body, sum, errMsg
+	cs.leases = nil
+	if errMsg == "" {
+		if worker == "" {
+			worker = "unknown"
+		}
+		c.m.completed.With(worker).Inc()
+	} else {
+		c.m.failed.Inc()
+	}
+	close(cs.doneCh)
+}
+
+// failAttemptLocked charges one failed dispatch (worker-reported error or
+// lease expiry) against a cell and decides its future: keep waiting on a
+// surviving speculative holder, re-queue with backoff, or fail
+// terminally once the budget is gone.
+func (c *Coordinator) failAttemptLocked(cs *cellState, leaseID, cause string, now time.Time) {
+	delete(cs.leases, leaseID)
+	cs.attempts++
+	if len(cs.leases) > 0 {
+		return // a speculative duplicate is still running; let it race
+	}
+	if cs.attempts >= c.opt.MaxAttempts {
+		if cause == "" {
+			cause = "unspecified worker failure"
+		}
+		c.finishLocked(cs, nil, "",
+			fmt.Sprintf("cluster: cell failed after %d attempts: %s", cs.attempts, cause), "")
+		return
+	}
+	cs.notBefore = now.Add(c.backoff(cs.attempts))
+	c.queue = append(c.queue, cs.cell.Fingerprint)
+	c.m.retried.Inc()
+}
+
+// backoff is capped exponential: base, 2·base, 4·base, ... up to cap.
+func (c *Coordinator) backoff(attempts int) time.Duration {
+	d := c.opt.BackoffBase
+	for i := 1; i < attempts && d < c.opt.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > c.opt.BackoffCap {
+		d = c.opt.BackoffCap
+	}
+	return d
+}
+
+// maybeReleaseLocked retires a lease whose every cell is finished or
+// re-assigned, so the worker-lease gauge tracks live claims, not history.
+func (c *Coordinator) maybeReleaseLocked(l *lease) {
+	for _, fp := range l.cells {
+		cs := c.cells[fp]
+		if cs == nil || cs.done {
+			continue
+		}
+		if _, held := cs.leases[l.id]; held {
+			return // still holding live work
+		}
+	}
+	delete(c.leases, l.id)
+	c.m.workerLeases.With(l.worker).Add(-1)
+}
+
+// reapLocked expires overdue leases: each unfinished cell they held is
+// charged one attempt and re-queued (or terminally failed).
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, l := range c.leases {
+		if !l.deadline.Before(now) {
+			continue
+		}
+		c.m.expired.Inc()
+		c.logf("lease %s (worker %s) expired; re-queueing its cells", id, l.worker)
+		for _, fp := range l.cells {
+			cs := c.cells[fp]
+			if cs == nil || cs.done {
+				continue
+			}
+			if _, held := cs.leases[id]; held {
+				c.failAttemptLocked(cs, id, "lease expired (worker lost or stalled)", now)
+			}
+		}
+		delete(c.leases, id)
+		c.m.workerLeases.With(l.worker).Add(-1)
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logger != nil {
+		c.opt.Logger.Info("cluster: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// countCells is the gauge sampler: pending (unleased, not done) and
+// leased (held by at least one live lease) cell counts.
+func (c *Coordinator) countCells() (pending, leased int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cs := range c.cells {
+		switch {
+		case cs.done:
+		case len(cs.leases) > 0:
+			leased++
+		default:
+			pending++
+		}
+	}
+	return pending, leased
+}
+
+// countWorkers reports distinct workers holding live leases and the total
+// live lease count.
+func (c *Coordinator) countWorkers() (workers, leases int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[string]bool, len(c.leases))
+	for _, l := range c.leases {
+		seen[l.worker] = true
+	}
+	return len(seen), len(c.leases)
+}

@@ -1,0 +1,425 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cachecraft/internal/config"
+	"cachecraft/internal/gpu"
+	"cachecraft/internal/obs"
+	"cachecraft/internal/sim"
+	"cachecraft/internal/store"
+	"cachecraft/internal/version"
+)
+
+// newTestCoordinator builds a coordinator with fast timers so expiry and
+// backoff are observable in test time, not operator time.
+func newTestCoordinator(t *testing.T, opt Options) *Coordinator {
+	t.Helper()
+	if opt.LeaseTTL == 0 {
+		opt.LeaseTTL = 100 * time.Millisecond
+	}
+	if opt.BackoffBase == 0 {
+		opt.BackoffBase = time.Millisecond
+	}
+	if opt.BackoffCap == 0 {
+		opt.BackoffCap = 5 * time.Millisecond
+	}
+	if opt.Base.NumSMs == 0 {
+		opt.Base = config.Quick()
+	}
+	c := New(opt)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func testCell(scheme string) Cell {
+	return NewCell(config.Quick(), "stream", scheme)
+}
+
+func resultFor(cell Cell) CellResult {
+	return CellResult{Record: &store.Record{
+		Fingerprint: cell.Fingerprint,
+		Sim:         version.String(),
+		Workload:    cell.Workload,
+		Scheme:      cell.Scheme,
+		Result:      gpu.Result{Workload: cell.Workload, Scheme: cell.Scheme, Cycles: sim.Cycle(1234)},
+	}}
+}
+
+func mustWait(t *testing.T, c *Coordinator, fp string) Outcome {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := c.Wait(ctx, fp)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", fp, err)
+	}
+	return out
+}
+
+func TestSubmitLeaseComplete(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(cell); err != nil {
+		t.Fatalf("re-submitting a known cell must join, not error: %v", err)
+	}
+
+	grant := c.Lease("w1", 8)
+	if grant == nil || len(grant.Cells) != 1 {
+		t.Fatalf("grant = %+v, want 1 cell", grant)
+	}
+	if grant.Cells[0].Fingerprint != cell.Fingerprint {
+		t.Fatalf("leased %s, want %s", grant.Cells[0].Fingerprint, cell.Fingerprint)
+	}
+	// The cell is held: a second worker polling an empty queue may only
+	// get it speculatively, never from the pending queue (covered below).
+	resp := c.Complete(CompleteRequest{LeaseID: grant.LeaseID, Worker: "w1",
+		Results: []CellResult{resultFor(cell)}})
+	if resp.Accepted != 1 || resp.Ignored != 0 {
+		t.Fatalf("complete = %+v", resp)
+	}
+	out := mustWait(t, c, cell.Fingerprint)
+	if out.Err != "" || len(out.Body) == 0 || out.Sum == "" {
+		t.Fatalf("outcome = %+v", out)
+	}
+
+	// A straggler pushing the same cell later loses quietly.
+	resp = c.Complete(CompleteRequest{LeaseID: "stale", Worker: "w2",
+		Results: []CellResult{resultFor(cell)}})
+	if resp.Accepted != 0 || resp.Ignored != 1 {
+		t.Fatalf("duplicate complete = %+v", resp)
+	}
+}
+
+func TestSubmitSkipsStoreResidentCells(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell("none")
+	rec := *resultFor(cell).Record
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCoordinator(t, Options{Store: st})
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	// Completes without any worker existing.
+	out := mustWait(t, c, cell.Fingerprint)
+	if out.Err != "" || len(out.Body) == 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if grant := c.Lease("w1", 8); grant != nil {
+		t.Fatalf("store-resident cell was dispatched: %+v", grant)
+	}
+}
+
+func TestCompleteRejectsForeignRecords(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	grant := c.Lease("w1", 1)
+	if grant == nil {
+		t.Fatal("no grant")
+	}
+	stale := resultFor(cell)
+	stale.Record.Sim = "cachecraft@r0-stale"
+	wrongWL := resultFor(cell)
+	wrongWL.Record.Workload = "scan"
+	resp := c.Complete(CompleteRequest{LeaseID: grant.LeaseID, Worker: "w1",
+		Results: []CellResult{stale, wrongWL, {}}})
+	if resp.Accepted != 0 || resp.Ignored != 3 {
+		t.Fatalf("complete = %+v, want all ignored", resp)
+	}
+	select {
+	case <-time.After(10 * time.Millisecond):
+	case <-func() chan struct{} { c.mu.Lock(); defer c.mu.Unlock(); return c.cells[cell.Fingerprint].doneCh }():
+		t.Fatal("cell completed from a rejected record")
+	}
+}
+
+// TestLeaseExpiryRequeuesWithBackoff: a dead worker's lease expires, the
+// cell is re-queued (after its backoff) and re-granted to another worker,
+// and an error the dead worker pushes late — under the expired lease —
+// does not consume a second attempt from the retry budget.
+func TestLeaseExpiryRequeuesWithBackoff(t *testing.T) {
+	// Speculation off: the re-grant below must come from lease expiry, not
+	// from a straggler duplicate handed out while g1 was still live.
+	c := newTestCoordinator(t, Options{
+		LeaseTTL: 50 * time.Millisecond, MaxAttempts: 2, DisableSpeculation: true,
+	})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	g1 := c.Lease("dead", 1)
+	if g1 == nil {
+		t.Fatal("no grant")
+	}
+	// No heartbeat: wait out TTL + backoff, then poll until re-granted.
+	var g2 *LeaseGrant
+	deadline := time.Now().Add(5 * time.Second)
+	for g2 == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("expired cell never re-granted")
+		}
+		time.Sleep(10 * time.Millisecond)
+		g2 = c.Lease("live", 1)
+	}
+	if g2.LeaseID == g1.LeaseID {
+		t.Fatal("same lease re-granted")
+	}
+
+	// The dead worker wakes up and reports failure under its old lease:
+	// the reaper already charged that attempt, so this must not push the
+	// cell to its MaxAttempts=2 terminal failure.
+	resp := c.Complete(CompleteRequest{LeaseID: g1.LeaseID, Worker: "dead",
+		Results: []CellResult{{Fingerprint: cell.Fingerprint, Error: "boom"}}})
+	if resp.Accepted != 0 || resp.Ignored != 1 {
+		t.Fatalf("late error = %+v, want ignored", resp)
+	}
+
+	resp = c.Complete(CompleteRequest{LeaseID: g2.LeaseID, Worker: "live",
+		Results: []CellResult{resultFor(cell)}})
+	if resp.Accepted != 1 {
+		t.Fatalf("live complete = %+v", resp)
+	}
+	if out := mustWait(t, c, cell.Fingerprint); out.Err != "" {
+		t.Fatalf("cell failed despite a successful retry: %q", out.Err)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	c := newTestCoordinator(t, Options{MaxAttempts: 2})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; ; attempt++ {
+		var grant *LeaseGrant
+		deadline := time.Now().Add(5 * time.Second)
+		for grant == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("attempt %d never granted", attempt)
+			}
+			grant = c.Lease("w1", 1)
+			if grant == nil {
+				time.Sleep(2 * time.Millisecond) // backoff gate
+			}
+		}
+		resp := c.Complete(CompleteRequest{LeaseID: grant.LeaseID, Worker: "w1",
+			Results: []CellResult{{Fingerprint: cell.Fingerprint, Error: "synthetic failure"}}})
+		if resp.Accepted != 1 {
+			t.Fatalf("attempt %d: complete = %+v", attempt, resp)
+		}
+		if attempt == 2 {
+			break
+		}
+	}
+	out := mustWait(t, c, cell.Fingerprint)
+	if out.Err == "" || !strings.Contains(out.Err, "after 2 attempts") ||
+		!strings.Contains(out.Err, "synthetic failure") {
+		t.Fatalf("terminal outcome = %+v", out)
+	}
+	if grant := c.Lease("w1", 1); grant != nil {
+		t.Fatalf("terminally failed cell re-granted: %+v", grant)
+	}
+}
+
+func TestFailedCellWaitsOutBackoffBeforeRedispatch(t *testing.T) {
+	c := newTestCoordinator(t, Options{
+		MaxAttempts: 5, BackoffBase: 80 * time.Millisecond, BackoffCap: time.Second,
+		DisableSpeculation: true,
+	})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	grant := c.Lease("w1", 1)
+	if grant == nil {
+		t.Fatal("no grant")
+	}
+	start := time.Now()
+	c.Complete(CompleteRequest{LeaseID: grant.LeaseID, Worker: "w1",
+		Results: []CellResult{{Fingerprint: cell.Fingerprint, Error: "transient"}}})
+	if g := c.Lease("w1", 1); g != nil {
+		t.Fatalf("cell re-granted %s after failure, inside its backoff window", time.Since(start))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := c.Lease("w1", 1); g != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cell never re-granted after backoff")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if waited := time.Since(start); waited < 80*time.Millisecond {
+		t.Fatalf("re-granted after %s, before the 80ms backoff", waited)
+	}
+}
+
+// TestStragglerSpeculation: with the queue drained, an idle worker gets a
+// duplicate of a cell another worker still holds; whichever result lands
+// first wins and the loser is ignored.
+func TestStragglerSpeculation(t *testing.T) {
+	c := newTestCoordinator(t, Options{LeaseTTL: 5 * time.Second})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	g1 := c.Lease("slow", 1)
+	if g1 == nil {
+		t.Fatal("no grant")
+	}
+	// The holder itself never gets a speculative duplicate of its own cell.
+	if g := c.Lease("slow", 1); g != nil {
+		t.Fatalf("holder speculated onto itself: %+v", g)
+	}
+	g2 := c.Lease("fast", 1)
+	if g2 == nil || len(g2.Cells) != 1 || g2.Cells[0].Fingerprint != cell.Fingerprint {
+		t.Fatalf("speculative grant = %+v", g2)
+	}
+	// With two live holders, a third worker gets nothing.
+	if g := c.Lease("third", 1); g != nil {
+		t.Fatalf("over-speculated: %+v", g)
+	}
+
+	resp := c.Complete(CompleteRequest{LeaseID: g2.LeaseID, Worker: "fast",
+		Results: []CellResult{resultFor(cell)}})
+	if resp.Accepted != 1 {
+		t.Fatalf("winner = %+v", resp)
+	}
+	resp = c.Complete(CompleteRequest{LeaseID: g1.LeaseID, Worker: "slow",
+		Results: []CellResult{resultFor(cell)}})
+	if resp.Accepted != 0 || resp.Ignored != 1 {
+		t.Fatalf("loser = %+v, want ignored", resp)
+	}
+	if out := mustWait(t, c, cell.Fingerprint); out.Err != "" {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestSpeculationDisabled(t *testing.T) {
+	c := newTestCoordinator(t, Options{DisableSpeculation: true, LeaseTTL: 5 * time.Second})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Lease("slow", 1); g == nil {
+		t.Fatal("no grant")
+	}
+	if g := c.Lease("fast", 1); g != nil {
+		t.Fatalf("speculation disabled but granted: %+v", g)
+	}
+}
+
+func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
+	c := newTestCoordinator(t, Options{LeaseTTL: 60 * time.Millisecond, DisableSpeculation: true})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	grant := c.Lease("w1", 1)
+	if grant == nil {
+		t.Fatal("no grant")
+	}
+	// Renew across several TTL windows; the cell must never re-queue.
+	for i := 0; i < 6; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if !c.Heartbeat(grant.LeaseID) {
+			t.Fatalf("heartbeat %d: lease lost despite renewal", i)
+		}
+		if g := c.Lease("w2", 1); g != nil {
+			t.Fatalf("heartbeated lease's cell re-granted: %+v", g)
+		}
+	}
+	// Stop heartbeating: the lease expires and heartbeats start failing.
+	time.Sleep(200 * time.Millisecond)
+	if c.Heartbeat(grant.LeaseID) {
+		t.Fatal("heartbeat succeeded on an expired lease")
+	}
+}
+
+func TestWaitUnblocksOnContextAndClose(t *testing.T) {
+	c := New(Options{Base: config.Quick()})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Wait(ctx, cell.Fingerprint); err != context.DeadlineExceeded {
+		t.Fatalf("Wait under cancelled ctx: %v", err)
+	}
+	if _, err := c.Wait(context.Background(), "no-such-cell"); err == nil {
+		t.Fatal("Wait on unknown cell must error")
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Wait(context.Background(), cell.Fingerprint)
+		errCh <- err
+	}()
+	c.Close()
+	select {
+	case err := <-errCh:
+		if err != ErrClosed {
+			t.Fatalf("Wait after Close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock waiter")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c := newTestCoordinator(t, Options{})
+	if err := c.Submit(Cell{Workload: "stream", Scheme: "none"}); err == nil {
+		t.Fatal("cell without fingerprint accepted")
+	}
+	bad := NewCell(config.Quick(), "stream", "none")
+	bad.Workload = "no-such-workload"
+	if err := c.Submit(bad); err == nil {
+		t.Fatal("inexpressible cell accepted")
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newTestCoordinator(t, Options{Registry: reg, DisableSpeculation: true})
+	cell := testCell("none")
+	if err := c.Submit(cell); err != nil {
+		t.Fatal(err)
+	}
+	grant := c.Lease("w1", 1)
+	if grant == nil {
+		t.Fatal("no grant")
+	}
+	c.Complete(CompleteRequest{LeaseID: grant.LeaseID, Worker: "w1",
+		Results: []CellResult{resultFor(cell)}})
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"cachecraft_cluster_cells_queued_total 1",
+		"cachecraft_cluster_cells_leased_total 1",
+		`cachecraft_cluster_cells_completed_total{worker="w1"} 1`,
+		`cachecraft_cluster_worker_active_leases{worker="w1"} 0`,
+		"cachecraft_cluster_pending_cells 0",
+		"cachecraft_cluster_leased_cells 0",
+		"cachecraft_sweep_cell_errors_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import "cachecraft/internal/obs"
+
+// metrics is the coordinator's instrument set. Queue and lease totals are
+// plain counters incremented at the state transitions that own them;
+// point-in-time populations (pending/leased cells, live workers) are
+// sampling gauges so the exposition can never drift from coordinator
+// state. The worker label is operator-assigned (one value per worker
+// process), so its cardinality is the fleet size, not request volume.
+//
+// The stream-error counter shares serve's cachecraft_sweep_cell_errors_total
+// family — both the local and the cluster sweep stream report terminal
+// cell failures on one metric, and a cell that fails on one worker but
+// succeeds on a retry contributes nothing.
+type metrics struct {
+	queued       *obs.Counter    // cells entered into the pending queue
+	leased       *obs.Counter    // cells handed out in leases (incl. redispatch)
+	redispatched *obs.Counter    // speculative straggler duplicates handed out
+	retried      *obs.Counter    // cells re-queued after failure or expiry
+	expired      *obs.Counter    // leases reaped past their deadline
+	failed       *obs.Counter    // cells terminally failed (budget exhausted)
+	storeSkips   *obs.Counter    // submitted cells answered from the store
+	completed    *obs.CounterVec // cells completed, by worker
+	workerLeases *obs.GaugeVec   // live leases, by worker
+	leaseSeconds *obs.Histogram  // lease grant → first accepted result
+	streamErrors *obs.Counter    // shared with serve: terminal error lines streamed
+}
+
+func newMetrics(reg *obs.Registry, c *Coordinator) *metrics {
+	m := &metrics{}
+	m.queued = reg.Counter("cachecraft_cluster_cells_queued_total",
+		"Cells entered into the coordinator's pending queue (store hits are skipped, not queued).")
+	m.leased = reg.Counter("cachecraft_cluster_cells_leased_total",
+		"Cells handed out to workers in leases, including speculative re-dispatches.")
+	m.redispatched = reg.Counter("cachecraft_cluster_cells_redispatched_total",
+		"Straggler cells speculatively handed to a second worker while the first still holds a lease.")
+	m.retried = reg.Counter("cachecraft_cluster_cells_retried_total",
+		"Cells re-queued with backoff after a worker failure or lease expiry.")
+	m.expired = reg.Counter("cachecraft_cluster_leases_expired_total",
+		"Leases reaped because no heartbeat arrived before the deadline.")
+	m.failed = reg.Counter("cachecraft_cluster_cells_failed_total",
+		"Cells that exhausted their retry budget and failed terminally.")
+	m.storeSkips = reg.Counter("cachecraft_cluster_store_skips_total",
+		"Submitted cells answered directly from the persistent store without dispatch.")
+	m.completed = reg.CounterVec("cachecraft_cluster_cells_completed_total",
+		"Cells completed successfully, by the worker whose result was accepted.", "worker")
+	m.workerLeases = reg.GaugeVec("cachecraft_cluster_worker_active_leases",
+		"Live leases currently held, by worker.", "worker")
+	m.leaseSeconds = reg.Histogram("cachecraft_cluster_lease_seconds",
+		"Seconds from lease grant to each accepted result under that lease.")
+	// Same family serve registers for the local sweep stream; the
+	// registry dedupes by name, so both streams count into one series.
+	m.streamErrors = reg.Counter("cachecraft_sweep_cell_errors_total",
+		"Sweep cells that failed mid-stream and were reported as NDJSON error lines.")
+	reg.GaugeFunc("cachecraft_cluster_pending_cells",
+		"Cells waiting (or backing off) for a lease.",
+		func() float64 { p, _ := c.countCells(); return float64(p) })
+	reg.GaugeFunc("cachecraft_cluster_leased_cells",
+		"Cells currently held by at least one live lease.",
+		func() float64 { _, l := c.countCells(); return float64(l) })
+	reg.GaugeFunc("cachecraft_cluster_active_workers",
+		"Distinct workers currently holding live leases.",
+		func() float64 { w, _ := c.countWorkers(); return float64(w) })
+	reg.GaugeFunc("cachecraft_cluster_active_leases",
+		"Live leases across all workers.",
+		func() float64 { _, l := c.countWorkers(); return float64(l) })
+	return m
+}

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"cachecraft/internal/bench"
+	"cachecraft/internal/store"
+	"cachecraft/internal/version"
+)
+
+// ErrVersionMismatch reports that the coordinator refused this worker
+// because it runs a different simulator revision. It is fatal: polling
+// again cannot help until one side is upgraded.
+var ErrVersionMismatch = errors.New("cluster: simulator revision mismatch with coordinator")
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8344".
+	Coordinator string
+	// Name identifies this worker in leases and metrics (default
+	// "<hostname>-<pid>").
+	Name string
+	// Runner executes leased cells. Its worker pool bounds concurrent
+	// simulations; its store (if any) lets the worker answer re-leased
+	// cells from local disk without re-simulating.
+	Runner *bench.Runner
+	// Batch is the most cells requested per lease (default: the
+	// runner's worker-pool size, so one lease keeps the pool full).
+	Batch int
+	// PollMax caps the idle-poll backoff (default 2s). The backoff
+	// starts small and doubles while no work arrives; a Retry-After
+	// hint from the coordinator (204 or 429) overrides it.
+	PollMax time.Duration
+	// HTTPClient overrides the default client (tests, timeouts).
+	HTTPClient *http.Client
+	// Logger reports lease churn and push failures (nil = silent).
+	Logger *slog.Logger
+}
+
+// Worker is the pull side of the cluster: poll a lease, simulate its
+// cells through the local runner, stream results back as each finishes,
+// heartbeat until the lease's work is done. Create with NewWorker; Run
+// blocks until the context ends.
+type Worker struct {
+	opt WorkerOptions
+	hc  *http.Client
+}
+
+// NewWorker validates options and fills defaults.
+func NewWorker(opt WorkerOptions) (*Worker, error) {
+	if opt.Coordinator == "" {
+		return nil, fmt.Errorf("cluster: worker needs a coordinator URL")
+	}
+	if opt.Runner == nil {
+		return nil, fmt.Errorf("cluster: worker needs a runner")
+	}
+	if opt.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		opt.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opt.Batch <= 0 {
+		opt.Batch = opt.Runner.Workers()
+	}
+	if opt.PollMax <= 0 {
+		opt.PollMax = 2 * time.Second
+	}
+	hc := opt.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Worker{opt: opt, hc: hc}, nil
+}
+
+// Name reports the worker's lease/metrics identity.
+func (w *Worker) Name() string { return w.opt.Name }
+
+// Run polls for leases and processes them until ctx ends. Transient
+// coordinator failures back off and retry; a simulator-revision mismatch
+// returns ErrVersionMismatch.
+func (w *Worker) Run(ctx context.Context) error {
+	const idleMin = 50 * time.Millisecond
+	idle := idleMin
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, hint, err := w.lease(ctx)
+		switch {
+		case errors.Is(err, ErrVersionMismatch):
+			return err
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("lease poll: %v", err)
+			sleepCtx(ctx, idle)
+			idle = bump(idle, w.opt.PollMax)
+		case grant == nil:
+			d := hint
+			if d <= 0 {
+				d = idle
+				idle = bump(idle, w.opt.PollMax)
+			}
+			sleepCtx(ctx, d)
+		default:
+			idle = idleMin
+			w.process(ctx, grant)
+		}
+	}
+}
+
+func bump(d, max time.Duration) time.Duration {
+	d *= 2
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// process runs every cell of one lease through the local runner,
+// heartbeating in the background and pushing each result the moment it
+// is ready (batching whatever finished in the meantime).
+func (w *Worker) process(ctx context.Context, grant *LeaseGrant) {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeat(hbCtx, grant)
+	}()
+	defer func() {
+		stopHB()
+		hbWG.Wait()
+	}()
+
+	results := make(chan CellResult)
+	var wg sync.WaitGroup
+	for _, cell := range grant.Cells {
+		wg.Add(1)
+		go func(cell Cell) {
+			defer wg.Done()
+			res := w.runCell(ctx, cell)
+			select {
+			case results <- res:
+			case <-ctx.Done():
+			}
+		}(cell)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for res := range results {
+		batch := []CellResult{res}
+	drain:
+		for {
+			select {
+			case more, ok := <-results:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		w.complete(ctx, grant, batch)
+	}
+}
+
+// runCell executes one leased cell. The cell's fingerprint doubles as its
+// runner config id, so identical cells re-leased later hit the memo (or
+// the worker's local store) instead of re-simulating.
+func (w *Worker) runCell(ctx context.Context, cell Cell) CellResult {
+	w.opt.Runner.AddConfig(cell.Fingerprint, cell.Config)
+	res, err := w.opt.Runner.ResultCtx(ctx, bench.Spec{
+		CfgID:    cell.Fingerprint,
+		Workload: cell.Workload,
+		Variant:  cell.Scheme,
+	})
+	if err != nil {
+		return CellResult{Fingerprint: cell.Fingerprint, Error: err.Error()}
+	}
+	return CellResult{Record: &store.Record{
+		Fingerprint: cell.Fingerprint,
+		Sim:         version.String(),
+		Workload:    cell.Workload,
+		Scheme:      cell.Scheme,
+		Result:      res,
+	}}
+}
+
+// heartbeat renews the lease every TTL/3 until the lease's work is done
+// or the coordinator reports the lease gone (410) — after which the
+// worker keeps computing quietly: results are accepted first-wins even
+// without a live lease.
+func (w *Worker) heartbeat(ctx context.Context, grant *LeaseGrant) {
+	ttl := time.Duration(grant.TTLMs) * time.Millisecond
+	every := ttl / 3
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		code, _, err := w.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{LeaseID: grant.LeaseID}, nil)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err != nil:
+			w.logf("heartbeat: %v", err) // transient; keep ticking
+		case code == http.StatusGone:
+			w.logf("lease %s expired under us; finishing without it", grant.LeaseID)
+			return
+		}
+	}
+}
+
+// lease polls for work: (grant, 0, nil) on success, (nil, hint, nil) when
+// there is none (hint = Retry-After), or an error.
+func (w *Worker) lease(ctx context.Context) (*LeaseGrant, time.Duration, error) {
+	var grant LeaseGrant
+	code, hdr, err := w.post(ctx, "/v1/cluster/lease", LeaseRequest{
+		Worker: w.opt.Name,
+		Max:    w.opt.Batch,
+		Sim:    version.String(),
+	}, &grant)
+	switch {
+	case err != nil:
+		return nil, 0, err
+	case code == http.StatusOK:
+		if len(grant.Cells) == 0 {
+			return nil, 0, nil
+		}
+		return &grant, 0, nil
+	case code == http.StatusNoContent, code == http.StatusTooManyRequests:
+		return nil, time.Duration(retryAfterSeconds(hdr)) * time.Second, nil
+	case code == http.StatusConflict:
+		return nil, 0, ErrVersionMismatch
+	default:
+		return nil, 0, fmt.Errorf("cluster: lease poll: HTTP %d", code)
+	}
+}
+
+// complete pushes a batch of results, retrying transient failures. A push
+// that ultimately fails is only logged: the lease will expire and the
+// coordinator re-dispatches, so results are never silently lost — just
+// recomputed.
+func (w *Worker) complete(ctx context.Context, grant *LeaseGrant, batch []CellResult) {
+	req := CompleteRequest{LeaseID: grant.LeaseID, Worker: w.opt.Name, Results: batch}
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 4; attempt++ {
+		code, hdr, err := w.post(ctx, "/v1/cluster/complete", req, nil)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err == nil && code == http.StatusOK:
+			return
+		case err == nil && code == http.StatusTooManyRequests:
+			// Back off as the coordinator asks (satellite contract:
+			// 429s carry Retry-After precisely so workers can do this).
+			if ra := retryAfterSeconds(hdr); ra > 0 {
+				sleepCtx(ctx, time.Duration(ra)*time.Second)
+				continue
+			}
+		case err == nil:
+			w.logf("complete: HTTP %d", code)
+		default:
+			w.logf("complete: %v", err)
+		}
+		sleepCtx(ctx, backoff)
+		backoff = bump(backoff, 2*time.Second)
+	}
+	w.logf("dropping %d results after repeated push failures (lease expiry will re-dispatch)", len(batch))
+}
+
+// post sends one JSON request and decodes a JSON body into out (when out
+// is non-nil and the status is 200).
+func (w *Worker) post(ctx context.Context, path string, body, out any) (int, http.Header, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.Coordinator+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, resp.Header, fmt.Errorf("cluster: decode %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, resp.Header, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opt.Logger != nil {
+		w.opt.Logger.Info("worker " + w.opt.Name + ": " + fmt.Sprintf(format, args...))
+	}
+}

@@ -255,6 +255,18 @@ func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVe
 // use). Arity must match the registered label keys.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).c }
 
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a gauge family keyed by the given label names.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, gaugeKind, labelKeys, nil)}
+}
+
+// With returns the gauge for the given label values (created on first
+// use). Arity must match the registered label keys.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).g }
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 

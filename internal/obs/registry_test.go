@@ -320,3 +320,25 @@ func TestRegistryRace(t *testing.T) {
 		t.Fatalf("histogram count = %d, want %d", h, goroutines*iters)
 	}
 }
+
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("worker_leases", "live leases by worker", "worker")
+	v.With("w1").Add(2)
+	v.With("w2").Add(1)
+	v.With("w1").Add(-1)
+	// Same label value resolves to the same gauge, so deltas accumulate.
+	if got := v.With("w1").Value(); got != 1 {
+		t.Fatalf("w1 = %d, want 1", got)
+	}
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	want := `# HELP worker_leases live leases by worker
+# TYPE worker_leases gauge
+worker_leases{worker="w1"} 1
+worker_leases{worker="w2"} 1
+`
+	if buf.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}

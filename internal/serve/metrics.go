@@ -91,6 +91,14 @@ func endpointOf(r *http.Request) string {
 		return "sweep"
 	case len(r.URL.Path) > len("/v1/results/") && r.URL.Path[:len("/v1/results/")] == "/v1/results/":
 		return "results"
+	case r.URL.Path == "/v1/cluster/sweep":
+		return "cluster-sweep"
+	case r.URL.Path == "/v1/cluster/lease":
+		return "cluster-lease"
+	case r.URL.Path == "/v1/cluster/complete":
+		return "cluster-complete"
+	case r.URL.Path == "/v1/cluster/heartbeat":
+		return "cluster-heartbeat"
 	case r.URL.Path == "/healthz":
 		return "healthz"
 	case r.URL.Path == "/metrics":

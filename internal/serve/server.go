@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"cachecraft/internal/bench"
+	"cachecraft/internal/cluster"
 	"cachecraft/internal/config"
 	"cachecraft/internal/obs"
 	"cachecraft/internal/schemes"
@@ -67,6 +68,15 @@ type Options struct {
 	// context propagates into the runner, so traced requests show their
 	// cell phases as children.
 	Tracer *obs.Tracer
+	// Coordinator, when set, mounts the cluster control plane
+	// (/v1/cluster/sweep, /lease, /complete, /heartbeat) alongside the
+	// simulation endpoints, turning this server into a sweep
+	// coordinator. Pass the same Registry to both so cluster metrics
+	// share this server's /metrics exposition. Cluster routes bypass
+	// the in-flight limiter: they queue and collect work rather than
+	// simulate, and a saturated simulation tier must never stop workers
+	// from returning finished results.
+	Coordinator *cluster.Coordinator
 }
 
 // Server is the HTTP layer. Create with New, mount via Handler.
@@ -120,6 +130,9 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/results/{fingerprint}", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opt.Coordinator != nil {
+		opt.Coordinator.Register(s.mux)
+	}
 	return s
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -185,8 +186,22 @@ func TestBackpressure429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	// Cluster workers parse this header as integer seconds to pace their
+	// retry backoff, so "present" is not enough: it must be a positive
+	// integer on every simulation-bearing endpoint.
+	for _, r := range []*http.Response{resp,
+		postJSON(t, ts.URL+"/v1/sweep", `{"workloads":["stream"],"schemes":["none"]}`, nil)} {
+		if r != resp {
+			r.Body.Close()
+			if r.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("sweep under saturation: status %d, want 429", r.StatusCode)
+			}
+		}
+		secs, err := strconv.Atoi(r.Header.Get("Retry-After"))
+		if err != nil || secs < 1 {
+			t.Fatalf("429 Retry-After %q: want positive integer seconds (err %v)",
+				r.Header.Get("Retry-After"), err)
+		}
 	}
 	var e map[string]string
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
@@ -208,7 +223,7 @@ func TestBackpressure429(t *testing.T) {
 	}
 	metrics, _ := io.ReadAll(mr.Body)
 	mr.Body.Close()
-	if !strings.Contains(string(metrics), "cachecraft_http_rejected_total 1\n") {
+	if !strings.Contains(string(metrics), "cachecraft_http_rejected_total 2\n") {
 		t.Fatalf("rejection not counted:\n%s", metrics)
 	}
 	if !strings.Contains(string(metrics), "cachecraft_inflight_sims 1\n") {

@@ -1,0 +1,135 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PruneStats reports what one Prune pass did.
+type PruneStats struct {
+	Kept         int   // records left in the store
+	Removed      int   // records evicted
+	KeptBytes    int64 // bytes still on disk (records only)
+	RemovedBytes int64 // bytes freed
+}
+
+// Prune evicts the oldest records (by modification time) until the
+// store's record bytes fit within maxBytes. It never touches in-flight
+// temp files (the ".tmp-*" names Put stages writes under), so it is safe
+// to run concurrently with writers; a record that disappears between scan
+// and removal (a concurrent pruner, or an operator's rm) is counted as
+// already gone rather than an error. maxBytes <= 0 disables pruning and
+// returns the current usage.
+//
+// Eviction is purely a capacity measure: a pruned record is a future
+// cache miss, never an error, because the simulator can regenerate it.
+func (s *Store) Prune(maxBytes int64) (PruneStats, error) {
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var (
+		entries []entry
+		total   int64
+	)
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // racing writer/pruner; skip
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") || !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		entries = append(entries, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return PruneStats{}, err
+	}
+	st := PruneStats{Kept: len(entries), KeptBytes: total}
+	if maxBytes <= 0 || total <= maxBytes {
+		return st, nil
+	}
+	// Oldest first; ties broken by path so concurrent pruners agree on
+	// the eviction order.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, e := range entries {
+		if st.KeptBytes <= maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+			return st, err
+		}
+		st.Kept--
+		st.Removed++
+		st.KeptBytes -= e.size
+		st.RemovedBytes += e.size
+	}
+	return st, nil
+}
+
+// StartAutoPrune launches a background goroutine that prunes the store to
+// maxBytes every interval (and once immediately), reporting evictions and
+// errors through logf (nil = silent). It returns an idempotent stop
+// function that halts the goroutine and waits for any in-progress pass to
+// finish. maxBytes <= 0 is a no-op: the returned stop function is still
+// valid.
+func (s *Store) StartAutoPrune(maxBytes int64, every time.Duration, logf func(format string, args ...any)) (stop func()) {
+	if maxBytes <= 0 {
+		return func() {}
+	}
+	if every <= 0 {
+		every = time.Minute
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			st, err := s.Prune(maxBytes)
+			switch {
+			case err != nil:
+				logf("store: prune: %v", err)
+			case st.Removed > 0:
+				logf("store: pruned %d records (%d bytes) to stay under %d bytes",
+					st.Removed, st.RemovedBytes, maxBytes)
+			}
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}

@@ -1,0 +1,158 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cachecraft/internal/config"
+)
+
+// putAged stores a record and backdates its mtime so eviction order is
+// deterministic regardless of filesystem timestamp granularity.
+func putAged(t *testing.T, s *Store, fp string, seed uint64, age time.Duration) {
+	t.Helper()
+	if err := s.Put(record(fp, seed)); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(s.path(fp), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruneEvictsOldestFirst(t *testing.T) {
+	s := mustOpen(t)
+	fps := []string{
+		Fingerprint(config.Quick(), "stream", "none"),
+		Fingerprint(config.Quick(), "scan", "none"),
+		Fingerprint(config.Quick(), "stream", "cachecraft"),
+	}
+	// Oldest record first in fps: hour-old, minute-old, fresh.
+	putAged(t, s, fps[0], 1, time.Hour)
+	putAged(t, s, fps[1], 2, time.Minute)
+	putAged(t, s, fps[2], 3, 0)
+
+	full, err := s.Prune(0) // report-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Kept != 3 || full.Removed != 0 || full.KeptBytes <= 0 {
+		t.Fatalf("report-only pass: %+v", full)
+	}
+
+	// A budget that fits exactly the newest record must keep only it.
+	info, err := os.Stat(s.path(fps[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := info.Size()
+	st, err := s.Prune(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 2 || st.Kept != 1 {
+		t.Fatalf("prune to %d bytes: %+v", one, st)
+	}
+	if st.KeptBytes+st.RemovedBytes != full.KeptBytes {
+		t.Fatalf("byte accounting: %+v vs total %d", st, full.KeptBytes)
+	}
+	if _, ok := s.Get(fps[0]); ok {
+		t.Fatal("oldest record survived prune")
+	}
+	if _, ok := s.Get(fps[1]); ok {
+		t.Fatal("middle record survived prune")
+	}
+	if _, ok := s.Get(fps[2]); !ok {
+		t.Fatal("newest record was evicted")
+	}
+}
+
+func TestPruneUnderBudgetRemovesNothing(t *testing.T) {
+	s := mustOpen(t)
+	fp := Fingerprint(config.Quick(), "stream", "none")
+	putAged(t, s, fp, 9, time.Hour)
+	st, err := s.Prune(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 || st.Kept != 1 {
+		t.Fatalf("under-budget prune: %+v", st)
+	}
+	if _, ok := s.Get(fp); !ok {
+		t.Fatal("record evicted despite fitting the budget")
+	}
+}
+
+// TestPruneSparesTempFiles: in-flight writes staged under .tmp-* names
+// are invisible to Prune — neither counted nor removed — so a pruner
+// racing Put can never destroy a write in progress.
+func TestPruneSparesTempFiles(t *testing.T) {
+	s := mustOpen(t)
+	fp := Fingerprint(config.Quick(), "stream", "none")
+	putAged(t, s, fp, 4, time.Hour)
+
+	tmp := filepath.Join(s.dir, ".tmp-inflight-write")
+	if err := os.WriteFile(tmp, []byte(strings.Repeat("x", 4096)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-24 * time.Hour)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Prune(1) // far under budget: every record must go
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 0 || st.Removed != 1 {
+		t.Fatalf("prune: %+v", st)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("temp file was touched by prune: %v", err)
+	}
+}
+
+func TestAutoPruneEnforcesBudget(t *testing.T) {
+	s := mustOpen(t)
+	fps := []string{
+		Fingerprint(config.Quick(), "stream", "none"),
+		Fingerprint(config.Quick(), "scan", "none"),
+	}
+	putAged(t, s, fps[0], 1, time.Hour)
+	putAged(t, s, fps[1], 2, 0)
+
+	// The first pass runs synchronously before the ticker waits, so a
+	// short poll loop is only a guard against slow filesystems.
+	stop := s.StartAutoPrune(1, time.Hour, nil)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.Prune(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Kept == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-prune left %d records", st.Kept)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop() // idempotence with the deferred call is part of the contract
+}
+
+func TestAutoPruneDisabled(t *testing.T) {
+	s := mustOpen(t)
+	fp := Fingerprint(config.Quick(), "stream", "none")
+	putAged(t, s, fp, 5, time.Hour)
+	stop := s.StartAutoPrune(0, time.Millisecond, nil)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	if _, ok := s.Get(fp); !ok {
+		t.Fatal("maxBytes<=0 must disable pruning entirely")
+	}
+}

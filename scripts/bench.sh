@@ -5,10 +5,19 @@
 #
 # Usage:
 #   scripts/bench.sh                 # full run (default -benchtime=1s)
+#   scripts/bench.sh -compare        # diff a fresh run against the committed
+#                                    # BENCH_sim.json instead of rewriting it;
+#                                    # exits non-zero if the end-to-end
+#                                    # simulation regressed by more than 15%
 #   BENCHTIME=1x scripts/bench.sh    # smoke run (one iteration per bench)
 #   OUT=/tmp/b.json scripts/bench.sh # write elsewhere
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+mode=record
+if [ "${1:-}" = -compare ]; then
+  mode=compare
+fi
 
 benchtime="${BENCHTIME:-1s}"
 out="${OUT:-BENCH_sim.json}"
@@ -23,6 +32,13 @@ trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
 
-go run ./scripts/benchjson -prev "$out" < "$raw" > "$out.tmp"
-mv "$out.tmp" "$out"
-echo "wrote $out" >&2
+if [ "$mode" = compare ]; then
+  # Diff against the committed numbers without touching the file. The
+  # end-to-end simulation rate gates the exit code; everything else is
+  # reported for context.
+  go run ./scripts/benchjson -compare "$out" < "$raw"
+else
+  go run ./scripts/benchjson -prev "$out" < "$raw" > "$out.tmp"
+  mv "$out.tmp" "$out"
+  echo "wrote $out" >&2
+fi

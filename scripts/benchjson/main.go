@@ -3,6 +3,13 @@
 // with -prev, its "baseline" section (and note) is carried forward, so the
 // file keeps the before/after pair: the frozen pre-optimization numbers
 // and the freshly measured ones.
+//
+// With -compare FILE it instead diffs the fresh numbers on stdin against
+// FILE's "current" section and prints a per-benchmark delta table; a
+// gated benchmark (-gate, default EndToEndSimulation) whose ns/op
+// regressed beyond -threshold percent makes it exit non-zero. Machines
+// differ, so the gate is meant for same-machine before/after runs — CI
+// uses it as an informational tripwire, not a hard fail.
 package main
 
 import (
@@ -39,7 +46,15 @@ type Doc struct {
 
 func main() {
 	prev := flag.String("prev", "", "existing BENCH_sim.json whose baseline section is preserved")
+	compare := flag.String("compare", "", "BENCH_sim.json to diff fresh stdin numbers against (compare mode)")
+	gate := flag.String("gate", "EndToEndSimulation", "compare mode: benchmark whose regression fails the run")
+	threshold := flag.Float64("threshold", 15, "compare mode: gated ns/op regression tolerance in percent")
 	flag.Parse()
+
+	fresh := readEntries()
+	if *compare != "" {
+		os.Exit(runCompare(fresh, *compare, *gate, *threshold))
+	}
 
 	doc := Doc{
 		Schema: "cachecraft-bench/v1",
@@ -55,22 +70,7 @@ func main() {
 			}
 		}
 	}
-
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		e, ok := parseLine(sc.Text())
-		if ok {
-			doc.Current = append(doc.Current, e)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	if len(doc.Current) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
+	doc.Current = fresh
 
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -78,6 +78,72 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(out))
+}
+
+func readEntries() []Entry {
+	var entries []Entry
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if e, ok := parseLine(sc.Text()); ok {
+			entries = append(entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	return entries
+}
+
+// runCompare diffs fresh ns/op numbers against the committed document's
+// "current" section. Every overlapping benchmark is reported; only the
+// gated one decides the exit code.
+func runCompare(fresh []Entry, file, gate string, threshold float64) int {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", file, err)
+		return 2
+	}
+	committed := make(map[string]float64, len(doc.Current))
+	for _, e := range doc.Current {
+		committed[e.Name] = e.Metrics["ns/op"]
+	}
+
+	code := 0
+	gateSeen := false
+	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark", "committed", "fresh", "delta")
+	for _, e := range fresh {
+		was, ok := committed[e.Name]
+		now := e.Metrics["ns/op"]
+		if !ok || was <= 0 || now <= 0 {
+			fmt.Printf("%-28s %14s %14.0f %8s\n", e.Name, "-", now, "new")
+			continue
+		}
+		delta := (now - was) / was * 100
+		mark := ""
+		if e.Name == gate {
+			gateSeen = true
+			if delta > threshold {
+				mark = "  REGRESSION (gate >" + strconv.FormatFloat(threshold, 'f', -1, 64) + "%)"
+				code = 1
+			}
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %+7.1f%%%s\n", e.Name, was, now, delta, mark)
+	}
+	if !gateSeen {
+		fmt.Fprintf(os.Stderr, "benchjson: gated benchmark %q missing from stdin or %s\n", gate, file)
+		return 2
+	}
+	return code
 }
 
 // parseLine decodes one `go test -bench` result line:

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# cluster_e2e.sh — end-to-end smoke of the distributed sweep cluster with
+# real processes: a coordinator (cachecraft-serve -coordinator), two
+# workers, and cachecraft-sweep -remote, asserting that remote stdout is
+# byte-identical to a local run. A second round SIGKILLs a worker process
+# that is holding leases and asserts the grid still completes —
+# identically — with the recovery visible in /metrics.
+#
+# Usage:
+#   scripts/cluster_e2e.sh           # quick grid (CI-sized)
+#   RUN=fig4 scripts/cluster_e2e.sh  # a single experiment instead of 'all'
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run="${RUN:-all}"
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building binaries ==" >&2
+go build -o "$work/bin/" ./cmd/cachecraft-serve ./cmd/cachecraft-worker ./cmd/cachecraft-sweep
+
+# Loopback ports unlikely to collide; derived from the PID so parallel
+# invocations on one machine do not fight. Each round gets its own port
+# so a previous round's processes can never answer for a fresh one.
+port_base=$((20000 + $$ % 20000))
+
+# Lines per cell is the invariant under test, so isolate each round in a
+# fresh store; the local reference run uses no store at all.
+echo "== local reference run ==" >&2
+"$work/bin/cachecraft-sweep" -run "$run" -quick >"$work/local.out" 2>"$work/local.err"
+
+round() { # round <name> <port-offset> <kill-a-worker: yes/no>
+  local name="$1" kill_one="$3"
+  local url="http://127.0.0.1:$((port_base + $2))"
+  local round_pids=()
+  echo "== round $name ==" >&2
+
+  "$work/bin/cachecraft-serve" -addr "${url#http://}" -coordinator \
+    -quick -store "$work/store-$name" -lease-ttl 2s -quiet \
+    >"$work/serve-$name.log" 2>&1 &
+  round_pids+=("$!")
+  pids+=("$!")
+  local healthy=no
+  for _ in $(seq 1 100); do
+    if curl -sf "$url/healthz" >/dev/null 2>&1; then
+      healthy=yes
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$healthy" != yes ]; then
+    echo "FAIL: coordinator never became healthy on $url" >&2
+    cat "$work/serve-$name.log" >&2 || true
+    exit 1
+  fi
+
+  if [ "$kill_one" = yes ]; then
+    # The grid is quick, so a timed kill races with completion. Instead
+    # the victim is a real OS process that takes a lease through the
+    # protocol and then sits on it; SIGKILL leaves the coordinator with
+    # leased cells whose owner is gone — exactly a worker dying mid-run.
+    # No other worker exists yet, so the leases are guaranteed taken.
+    (
+      for _ in $(seq 1 200); do
+        code="$(curl -s -o "$work/victim-lease.json" -w '%{http_code}' \
+          -X POST -H 'Content-Type: application/json' \
+          -d '{"worker":"victim","max":2}' "$url/v1/cluster/lease" || true)"
+        if [ "$code" = 200 ]; then
+          touch "$work/victim-leased"
+          break
+        fi
+        sleep 0.05
+      done
+      sleep 600
+    ) &
+    local victim_pid=$!
+    round_pids+=("$victim_pid")
+    pids+=("$victim_pid")
+
+    # Cells only exist once a sweep is submitted, so start the remote
+    # sweep first and let the victim grab its lease from the fresh grid.
+    "$work/bin/cachecraft-sweep" -run "$run" -quick -remote "$url" \
+      >"$work/remote-$name.out" 2>"$work/remote-$name.err" &
+    local sweep_pid=$!
+    for _ in $(seq 1 100); do
+      [ -e "$work/victim-leased" ] && break
+      sleep 0.1
+    done
+    if [ ! -e "$work/victim-leased" ]; then
+      echo "FAIL: victim worker never obtained a lease" >&2
+      exit 1
+    fi
+    kill -9 "$victim_pid" 2>/dev/null || true
+  fi
+
+  "$work/bin/cachecraft-worker" -coordinator "$url" -name "$name-w1" -quiet \
+    >"$work/w1-$name.log" 2>&1 &
+  round_pids+=("$!")
+  pids+=("$!")
+  "$work/bin/cachecraft-worker" -coordinator "$url" -name "$name-w2" -quiet \
+    >"$work/w2-$name.log" 2>&1 &
+  round_pids+=("$!")
+  pids+=("$!")
+
+  if [ "$kill_one" = yes ]; then
+    wait "$sweep_pid"
+  else
+    "$work/bin/cachecraft-sweep" -run "$run" -quick -remote "$url" \
+      >"$work/remote-$name.out" 2>"$work/remote-$name.err"
+  fi
+
+  if ! diff -u "$work/local.out" "$work/remote-$name.out" >&2; then
+    echo "FAIL: round $name: remote stdout differs from local run" >&2
+    exit 1
+  fi
+
+  if [ "$kill_one" = yes ]; then
+    # The retries must be visible on the coordinator's metrics, and the
+    # recovery must not have streamed any cell errors.
+    local metrics
+    metrics="$(curl -sf "$url/metrics")"
+    if ! grep -q '^cachecraft_cluster_leases_expired_total [1-9]' <<<"$metrics"; then
+      echo "FAIL: no expired lease recorded after killing a worker" >&2
+      grep '^cachecraft_cluster' <<<"$metrics" >&2 || true
+      exit 1
+    fi
+    if ! grep -q '^cachecraft_cluster_cells_retried_total [1-9]' <<<"$metrics"; then
+      echo "FAIL: no cell retry recorded after killing a worker" >&2
+      grep '^cachecraft_cluster' <<<"$metrics" >&2 || true
+      exit 1
+    fi
+    if ! grep -q '^cachecraft_sweep_cell_errors_total 0$' <<<"$metrics"; then
+      echo "FAIL: cell errors streamed during worker-death recovery" >&2
+      grep 'cell_errors' <<<"$metrics" >&2 || true
+      exit 1
+    fi
+  fi
+
+  # Tear the round's processes down so they cannot touch a later round.
+  for pid in "${round_pids[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  echo "round $name: OK (stdout byte-identical to local)" >&2
+}
+
+round healthy 0 no
+round worker-death 1 yes
+echo "cluster e2e: all rounds passed" >&2
