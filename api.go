@@ -28,6 +28,7 @@ import (
 	"cachecraft/internal/core"
 	"cachecraft/internal/gpu"
 	"cachecraft/internal/layout"
+	"cachecraft/internal/obs"
 	"cachecraft/internal/schemes"
 	"cachecraft/internal/store"
 	"cachecraft/internal/trace"
@@ -125,6 +126,51 @@ func RunAudited(cfg Config, workload, scheme string) (Result, error) {
 	res.Workload = workload
 	res.Scheme = scheme
 	return res, nil
+}
+
+// Probes is a simulation's time-resolved probe set: cycle-sampled series
+// (SM issue rate, DRAM bandwidth by traffic class, per-bank L2 hit rate,
+// reconstructed-line fill and hit rates, join latency, and more) taken
+// at a fixed sampling window. Export it through a Timeline; see
+// docs/OBSERVABILITY.md for the track catalog.
+type Probes = obs.Probes
+
+// Timeline collects probe sets (and tracer spans) for export as NDJSON
+// or Chrome trace-event JSON loadable in Perfetto.
+type Timeline = obs.Timeline
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// RunProbed is Run with the time-resolved probe layer attached, sampling
+// every probe track at the given window (in cycles; 0 uses a 1-cycle
+// window). With audited set, the invariant-audit layer is armed as well —
+// the two observers use separate hooks and compose. Probes never
+// schedule simulator events, so the returned Result is identical to
+// Run's; the returned probe set is already flushed and ready for
+// Timeline.AddCell or Snapshot.
+func RunProbed(cfg Config, workload, scheme string, window uint64, audited bool) (Result, *Probes, error) {
+	factory, err := schemes.ByName(scheme)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	m, err := gpu.New(cfg, workload, factory)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	p := obs.NewProbes(window)
+	m.SetProbes(p)
+	if audited {
+		m.EnableAudit()
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	p.Flush()
+	res.Workload = workload
+	res.Scheme = scheme
+	return res, p, nil
 }
 
 // RunAll simulates every (workload, scheme) pair in the cross product,

@@ -1,0 +1,117 @@
+// cachecraft-report reads a probe timeline written by cachecraft-sim or
+// cachecraft-sweep (-timeline FILE, NDJSON form) and prints phase
+// summaries: where each tracked metric leaves its warmup transient, its
+// warmup vs steady-state level, and any redundancy-traffic bursts — the
+// time-resolved behavior CacheCraft's end-of-run aggregates hide.
+//
+// Usage:
+//
+//	cachecraft-report fig4.ndjson
+//	cachecraft-report -series hit_rate fig4.ndjson   # only matching tracks
+//	cachecraft-report -bursts dram.bytes.redundancy fig4.ndjson
+//
+// Chrome trace-event (.json) timelines are for Perfetto; this command
+// reads the NDJSON form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachecraft/internal/obs"
+	"cachecraft/internal/stats"
+)
+
+func main() {
+	var (
+		seriesFilter = flag.String("series", "", "only summarize series whose name contains this substring")
+		burstSeries  = flag.String("bursts", "dram.bytes.redundancy", "series to scan for traffic bursts (empty = skip)")
+		csv          = flag.Bool("csv", false, "emit tables as CSV")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cachecraft-report [flags] TIMELINE.ndjson")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	tl, err := obs.ReadNDJSON(f)
+	f.Close()
+	if err != nil {
+		fail("%v", err)
+	}
+	cells := tl.Cells()
+	if len(cells) == 0 {
+		fail("timeline %s holds no probe cells (was it written with .json? that form is for Perfetto)", flag.Arg(0))
+	}
+
+	var out = os.Stdout
+	render := func(t *stats.Table) {
+		if *csv {
+			t.Render(stats.CSVWriter{Writer: out})
+		} else {
+			t.Render(out)
+		}
+	}
+
+	for _, cell := range cells {
+		t := stats.NewTable(fmt.Sprintf("phases — %s", cell.Label),
+			"series", "samples", "warmup end", "warmup mean", "steady mean")
+		rows := 0
+		for _, sd := range cell.Series {
+			if *seriesFilter != "" && !strings.Contains(sd.Name, *seriesFilter) {
+				continue
+			}
+			ph, ok := obs.AnalyzePhases(sd)
+			if !ok {
+				continue
+			}
+			t.AddRow(sd.Name,
+				fmt.Sprintf("%d", ph.Samples),
+				fmt.Sprintf("%d cy", ph.WarmupEnd),
+				fmt.Sprintf("%.4g", ph.WarmupMean),
+				fmt.Sprintf("%.4g", ph.SteadyMean))
+			rows++
+		}
+		if rows > 0 {
+			render(t)
+			fmt.Fprintln(out)
+		}
+
+		if *burstSeries == "" {
+			continue
+		}
+		for _, sd := range cell.Series {
+			if sd.Name != *burstSeries {
+				continue
+			}
+			bursts := obs.DetectBursts(sd)
+			if len(bursts) == 0 {
+				fmt.Fprintf(out, "%s: no %s bursts (baseline holds)\n\n", cell.Label, sd.Name)
+				continue
+			}
+			bt := stats.NewTable(fmt.Sprintf("bursts — %s — %s", cell.Label, sd.Name),
+				"start", "end", "peak", "baseline")
+			for _, b := range bursts {
+				bt.AddRow(
+					fmt.Sprintf("%d cy", b.StartCycle),
+					fmt.Sprintf("%d cy", b.EndCycle),
+					fmt.Sprintf("%.4g", b.Peak),
+					fmt.Sprintf("%.4g", b.Baseline))
+			}
+			render(bt)
+			fmt.Fprintln(out)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cachecraft-report: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -5,7 +5,14 @@
 //
 //	cachecraft-sim -workload spmv -scheme cachecraft
 //	cachecraft-sim -workload histogram -scheme inline-naive -accesses 4000
+//	cachecraft-sim -workload stream -scheme cachecraft -timeline run.json
 //	cachecraft-sim -list
+//
+// With -timeline the run is sampled by the time-resolved probe layer and
+// the probe tracks are written to the named file: ".json" gets Chrome
+// trace-event JSON loadable at https://ui.perfetto.dev, any other
+// extension gets NDJSON readable by cachecraft-report. The timeline is a
+// side channel — stdout output is identical with or without it.
 package main
 
 import (
@@ -30,6 +37,8 @@ func main() {
 		layoutStr = flag.String("layout", "", "inline-ECC layout: linear or row-local (default from config)")
 		quick     = flag.Bool("quick", false, "use the scaled-down test configuration")
 		auditOn   = flag.Bool("audit", false, "run under the invariant-audit layer (fails on any violation)")
+		timeline  = flag.String("timeline", "", "write a time-resolved probe timeline to this file (.json = Chrome trace events, else NDJSON)")
+		tlWindow  = flag.Uint64("timeline-window", 1000, "probe sampling window in cycles for -timeline")
 		list      = flag.Bool("list", false, "list workloads and schemes, then exit")
 		verbose   = flag.Bool("v", false, "dump all counters")
 		jsonOut   = flag.Bool("json", false, "emit the full result as JSON")
@@ -62,11 +71,26 @@ func main() {
 		cfg.Layout = *layoutStr
 	}
 
-	run := cachecraft.Run
-	if *auditOn {
-		run = cachecraft.RunAudited
+	var (
+		res cachecraft.Result
+		err error
+	)
+	if *timeline != "" {
+		var probes *cachecraft.Probes
+		res, probes, err = cachecraft.RunProbed(cfg, *workload, *scheme, *tlWindow, *auditOn)
+		if err == nil {
+			tl := cachecraft.NewTimeline()
+			tl.AddCell(*workload+"/"+*scheme, probes)
+			if werr := tl.WriteFile(*timeline); werr != nil {
+				fmt.Fprintln(os.Stderr, "cachecraft-sim: timeline:", werr)
+				os.Exit(1)
+			}
+		}
+	} else if *auditOn {
+		res, err = cachecraft.RunAudited(cfg, *workload, *scheme)
+	} else {
+		res, err = cachecraft.Run(cfg, *workload, *scheme)
 	}
-	res, err := run(cfg, *workload, *scheme)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachecraft-sim:", err)
 		os.Exit(1)

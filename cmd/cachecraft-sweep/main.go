@@ -13,6 +13,8 @@
 //	cachecraft-sweep -run all -store DIR # persist results; warm re-runs simulate nothing
 //	cachecraft-sweep -run all -progress  # live cell counts + ETA on stderr
 //	cachecraft-sweep -run fig4 -trace-out spans.ndjson
+//	cachecraft-sweep -run fig4 -timeline fig4.json       # Perfetto trace (probe counter tracks)
+//	cachecraft-sweep -run fig4 -timeline fig4.ndjson     # cachecraft-report input
 //	cachecraft-sweep -run all -remote http://coordinator:8344  # shard across a cluster
 //
 // Simulations fan out across a bounded worker pool (-j, default
@@ -20,7 +22,8 @@
 // so stdout is byte-identical for every -j value — and, with -store, for
 // warm re-runs that simulate nothing at all; per-experiment wall times,
 // runner statistics, and -progress lines go to stderr, and -trace-out
-// spans go to the named file, so none of them disturb that guarantee.
+// spans and -timeline probe tracks go to their named files, so none of
+// them disturb that guarantee.
 //
 // With -remote, cells whose workload and scheme are registered names are
 // materialized by a sweep cluster (cachecraft-serve -coordinator plus
@@ -59,6 +62,8 @@ func main() {
 		storeDir = flag.String("store", "", "persistent result store directory (empty = none)")
 		progress = flag.Bool("progress", false, "report live cell progress and ETA on stderr")
 		traceOut = flag.String("trace-out", "", "write per-cell NDJSON trace spans to this file")
+		timeline = flag.String("timeline", "", "write a time-resolved probe timeline to this file (.json = Chrome trace events for Perfetto, else NDJSON for cachecraft-report)")
+		tlWindow = flag.Uint64("timeline-window", 1000, "probe sampling window in cycles for -timeline")
 		auditOn  = flag.Bool("audit", false, "run every simulation under the invariant-audit layer")
 		remote   = flag.String("remote", "", "cluster coordinator base URL; standard cells run on the cluster (empty = all local)")
 	)
@@ -109,13 +114,29 @@ func main() {
 		}
 		r.SetRemote(cl)
 	}
+	// -trace-out and -timeline share one tracer: spans tee to the NDJSON
+	// file and the timeline's duration track. Probe output goes only to
+	// the timeline file, so stdout stays byte-identical either way.
+	var tl *obs.Timeline
+	if *timeline != "" {
+		tl = obs.NewTimeline()
+		r.SetProbes(*tlWindow, func(s bench.Spec, p *obs.Probes) {
+			tl.AddCell(s.CfgID+"/"+s.Workload+"/"+s.Variant, p)
+		})
+		cleanup = append(cleanup, func() {
+			if err := tl.WriteFile(*timeline); err != nil {
+				fmt.Fprintf(os.Stderr, "cachecraft-sweep: timeline: %v\n", err)
+			}
+		})
+	}
+	var exporters []obs.Exporter
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fail("%v", err)
 		}
 		bw := bufio.NewWriter(f)
-		r.SetTracer(obs.NewTracer(obs.NewNDJSONExporter(bw)))
+		exporters = append(exporters, obs.NewNDJSONExporter(bw))
 		cleanup = append(cleanup, func() {
 			if err := bw.Flush(); err == nil {
 				err = f.Close()
@@ -127,6 +148,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "cachecraft-sweep: trace-out: %v\n", err)
 			}
 		})
+	}
+	if tl != nil {
+		exporters = append(exporters, tl)
+	}
+	if len(exporters) == 1 {
+		r.SetTracer(obs.NewTracer(exporters[0]))
+	} else if len(exporters) > 1 {
+		r.SetTracer(obs.NewTracer(obs.Tee(exporters...)))
 	}
 	if *progress {
 		cleanup = append(cleanup, startProgress(r))

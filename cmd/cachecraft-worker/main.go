@@ -11,6 +11,7 @@
 //	cachecraft-worker -coordinator http://host:8344
 //	cachecraft-worker -coordinator http://host:8344 -j 8 -store /var/tmp/cachecraft -store-max-bytes 1073741824
 //	cachecraft-worker -coordinator http://host:8344 -name rack3-gpu0 -audit
+//	cachecraft-worker -coordinator http://host:8344 -debug-addr 127.0.0.1:6061
 //
 // Cells carry their full GPU configuration, so a worker needs no
 // agreement with the coordinator beyond the simulator revision (enforced
@@ -18,6 +19,12 @@
 // content-addressed store). A local -store lets a worker answer
 // re-leased cells from disk without re-simulating, and -store-max-bytes
 // keeps that cache from growing without bound.
+//
+// -debug-addr opens a side listener with net/http/pprof, the worker's
+// own /metrics exposition (the same runner families cachecraft-serve
+// reports), and /healthz. The same metric snapshot also rides every
+// lease poll and heartbeat, so the coordinator's /metrics re-exports it
+// per worker even when the debug listener is off.
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"flag"
 	"log"
 	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +44,7 @@ import (
 	"cachecraft/internal/bench"
 	"cachecraft/internal/cluster"
 	"cachecraft/internal/config"
+	"cachecraft/internal/obs"
 	"cachecraft/internal/store"
 	"cachecraft/internal/version"
 )
@@ -49,6 +59,7 @@ func main() {
 		storeDir    = flag.String("store", "", "local persistent result store directory (empty = none)")
 		storeMax    = flag.Int64("store-max-bytes", 0, "prune the local store's oldest records beyond this many bytes (0 = unbounded)")
 		auditOn     = flag.Bool("audit", false, "run every simulation under the invariant-audit layer")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof, /metrics, and /healthz on this extra address (empty = off)")
 		quiet       = flag.Bool("quiet", false, "suppress per-lease progress logs")
 	)
 	flag.Parse()
@@ -74,6 +85,12 @@ func main() {
 		defer stop()
 	}
 
+	// The registry backs both the -debug-addr /metrics exposition and the
+	// snapshots attached to every lease poll and heartbeat, which the
+	// coordinator re-exports under per-worker-labelled families.
+	reg := obs.NewRegistry()
+	bench.RegisterRunnerMetrics(reg, r)
+
 	var logger *slog.Logger
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -84,10 +101,37 @@ func main() {
 		Runner:      r,
 		Batch:       *batch,
 		PollMax:     *poll,
+		Registry:    reg,
 		Logger:      logger,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		// A dedicated mux, mirroring cachecraft-serve's -debug-addr: the
+		// worker has no public listener at all, so this stays bindable to
+		// loopback while the control-plane traffic flows outbound only.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.HandleFunc("GET /metrics", func(wr http.ResponseWriter, _ *http.Request) {
+			wr.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(wr)
+		})
+		dmux.HandleFunc("GET /healthz", func(wr http.ResponseWriter, _ *http.Request) {
+			wr.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			wr.Write([]byte("ok\n"))
+		})
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		log.Printf("pprof and /metrics on http://%s/", *debugAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,44 @@
+package bench
+
+import "cachecraft/internal/obs"
+
+// RegisterRunnerMetrics exposes a runner's accounting on reg through
+// sampling collectors (CounterFunc reads Stats at render time, so the
+// exposition can never drift from the runner's own counts). The family
+// names are shared by every process that embeds a runner —
+// cachecraft-serve's /metrics and cachecraft-worker's -debug-addr
+// listener report identical families, and the coordinator re-exports the
+// worker's copies per worker — so dashboards need one query per family
+// regardless of where the simulation ran.
+func RegisterRunnerMetrics(reg *obs.Registry, r *Runner) {
+	stat := func(pick func(Stats) int) func() uint64 {
+		return func() uint64 {
+			v := pick(r.Stats())
+			if v < 0 {
+				return 0
+			}
+			return uint64(v)
+		}
+	}
+	reg.CounterFunc("cachecraft_sim_runs_total",
+		"Simulations actually executed by the runner.",
+		stat(func(s Stats) int { return s.Runs }))
+	reg.CounterFunc("cachecraft_memo_hits_total",
+		"Requests answered from the runner's in-memory memo.",
+		stat(func(s Stats) int { return s.MemoHits }))
+	reg.CounterFunc("cachecraft_singleflight_dedups_total",
+		"Requests that piggybacked on an in-flight simulation.",
+		stat(func(s Stats) int { return s.Dedups }))
+	reg.CounterFunc("cachecraft_store_hits_total",
+		"Runner lookups answered from the persistent result store.",
+		stat(func(s Stats) int { return s.StoreHits }))
+	reg.CounterFunc("cachecraft_store_misses_total",
+		"Runner lookups that missed the persistent result store.",
+		stat(func(s Stats) int { return s.StoreMisses }))
+	reg.CounterFunc("cachecraft_store_put_errors_total",
+		"Failed attempts to persist a result (the result was still returned).",
+		stat(func(s Stats) int { return s.StoreErrors }))
+	reg.CounterFunc("cachecraft_remote_hits_total",
+		"Runner lookups materialized by the remote cluster backend.",
+		stat(func(s Stats) int { return s.RemoteHits }))
+}

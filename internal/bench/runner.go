@@ -102,6 +102,8 @@ type Runner struct {
 	remote  Remote        // optional distributed tier (nil = disabled)
 	tracer  *obs.Tracer   // optional span tracing (nil = off, zero cost)
 	audit   bool          // run simulations under the invariant checker
+	prWin   uint64        // probe sampling window (0 = probes off)
+	prSink  ProbeSink     // receives each executed simulation's probes
 	stat    Stats         // counters; stat.Runs mirrors Runs()
 	slots   chan struct{} // bounded worker slots
 }
@@ -174,6 +176,30 @@ func (r *Runner) SetTracer(t *obs.Tracer) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.tracer = t
+}
+
+// ProbeSink receives the probe set of one executed simulation, after
+// the run finished and the probes were flushed. Sinks run on the
+// simulation's goroutine and must be safe for concurrent use when the
+// runner fans out (obs.Timeline.AddCell qualifies).
+type ProbeSink func(s Spec, p *obs.Probes)
+
+// SetProbes attaches the time-resolved probe layer to every subsequent
+// simulation that actually executes: each run gets a fresh obs.Probes
+// sampling at the given window, and sink receives it after the run
+// succeeds. Memo, store, and remote hits carry no probes — like span
+// tracing, probes describe work this process performed. Probes observe
+// without scheduling engine events, so results (and the sweep's stdout)
+// are byte-identical with probes on or off. A nil sink (or zero window)
+// detaches the layer.
+func (r *Runner) SetProbes(window uint64, sink ProbeSink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if sink == nil || window == 0 {
+		r.prWin, r.prSink = 0, nil
+		return
+	}
+	r.prWin, r.prSink = window, sink
 }
 
 // SetAudit runs every subsequent simulation under the invariant-audit
@@ -285,8 +311,9 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 		slots := r.slots
 		tr := r.tracer
 		aud := r.audit
+		prWin, prSink := r.prWin, r.prSink
 		r.mu.Unlock()
-		return r.lead(ctx, s, c, cfg, f, st, rem, slots, tr, aud)
+		return r.lead(ctx, s, c, cfg, f, st, rem, slots, tr, aud, prWin, prSink)
 	}
 }
 
@@ -295,7 +322,8 @@ func (r *Runner) ResultCtx(ctx context.Context, s Spec) (gpu.Result, error) {
 // whole cell in a span with one child per phase, so a trace shows exactly
 // where a cell's wall time went.
 func (r *Runner) lead(ctx context.Context, s Spec, c *call, cfg config.GPU,
-	f protect.Factory, st ResultStore, rem Remote, slots chan struct{}, tr *obs.Tracer, aud bool) (gpu.Result, error) {
+	f protect.Factory, st ResultStore, rem Remote, slots chan struct{}, tr *obs.Tracer, aud bool,
+	prWin uint64, prSink ProbeSink) (gpu.Result, error) {
 	ctx, cell := tr.Start(ctx, "cell",
 		obs.String("config", s.CfgID),
 		obs.String("workload", s.Workload),
@@ -377,7 +405,7 @@ func (r *Runner) lead(ctx context.Context, s Spec, c *call, cfg config.GPU,
 		return gpu.Result{}, ctx.Err()
 	}
 	simCtx, sim := tr.Start(ctx, "simulate")
-	res, err := simulate(simCtx, cfg, f, s, tr, aud)
+	res, err := simulate(simCtx, cfg, f, s, tr, aud, prWin, prSink)
 	sim.SetAttr(obs.Bool("ok", err == nil))
 	sim.End()
 	<-slots
@@ -427,18 +455,28 @@ func (r *Runner) finish(s Spec, c *call, res gpu.Result, err error, ran bool) {
 // simulate executes one simulation from scratch. With a tracer attached,
 // the machine emits spans for its top-level stages (execute, drain) as
 // children of the caller's simulate span.
-func simulate(ctx context.Context, cfg config.GPU, f protect.Factory, s Spec, tr *obs.Tracer, aud bool) (gpu.Result, error) {
+func simulate(ctx context.Context, cfg config.GPU, f protect.Factory, s Spec, tr *obs.Tracer, aud bool,
+	prWin uint64, prSink ProbeSink) (gpu.Result, error) {
 	m, err := gpu.New(cfg, s.Workload, f)
 	if err != nil {
 		return gpu.Result{}, err
 	}
 	m.SetTracer(ctx, tr)
+	var probes *obs.Probes
+	if prSink != nil {
+		probes = obs.NewProbes(prWin)
+		m.SetProbes(probes)
+	}
 	if aud {
 		m.EnableAudit()
 	}
 	res, err := m.Run()
 	if err != nil {
 		return gpu.Result{}, fmt.Errorf("bench: %s/%s/%s: %w", s.CfgID, s.Workload, s.Variant, err)
+	}
+	if prSink != nil {
+		probes.Flush()
+		prSink(s, probes)
 	}
 	res.Workload = s.Workload
 	res.Scheme = s.Variant

@@ -94,6 +94,11 @@ type LeaseRequest struct {
 	// 409: a mixed-revision cluster would poison the content-addressed
 	// store with records no one can look up.
 	Sim string `json:"sim"`
+	// Metrics is an optional snapshot of the worker's metrics registry
+	// (obs.Registry.Snapshot flattened to name → value). Polls carry it
+	// too — not just heartbeats — so an idle worker stays visible on the
+	// coordinator's /metrics and /v1/cluster/status.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // LeaseGrant is the 200 response to a lease poll. A poll that finds no
@@ -111,6 +116,14 @@ type LeaseGrant struct {
 // accepted — first result wins).
 type HeartbeatRequest struct {
 	LeaseID string `json:"lease_id"`
+	// Worker names the heartbeating worker so the coordinator can track
+	// liveness without resolving the lease first. Optional: old workers
+	// omit it and the coordinator falls back to the lease's holder.
+	Worker string `json:"worker,omitempty"`
+	// Metrics is an optional snapshot of the worker's metrics registry;
+	// the coordinator re-exports it under per-worker-labelled
+	// cachecraft_worker_* families on its own /metrics.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 // CellResult is one element of a complete push: either a full record
@@ -135,4 +148,37 @@ type CompleteRequest struct {
 type CompleteResponse struct {
 	Accepted int `json:"accepted"`
 	Ignored  int `json:"ignored"`
+}
+
+// WorkerStatus is one worker's row in a cluster status response. A worker
+// is Live while its last contact (lease poll, heartbeat, or complete
+// push) is within three lease TTLs; after that it is presumed dead and
+// its leases are being reaped.
+type WorkerStatus struct {
+	Name string `json:"name"`
+	Live bool   `json:"live"`
+	// LastSeenMs is milliseconds since the worker last contacted the
+	// coordinator.
+	LastSeenMs int64 `json:"last_seen_ms"`
+	// ActiveLeases counts leases the worker currently holds;
+	// OldestLeaseMs is the age of the oldest (0 when none).
+	ActiveLeases  int   `json:"active_leases"`
+	OldestLeaseMs int64 `json:"oldest_lease_ms"`
+	// CellsCompleted counts results this worker delivered first;
+	// CellsPerSec is that count over the worker's time in the cluster.
+	CellsCompleted uint64  `json:"cells_completed"`
+	CellsPerSec    float64 `json:"cells_per_sec"`
+}
+
+// StatusResponse is the body of GET /v1/cluster/status: a point-in-time
+// picture of queue depth and worker fleet health. Workers are sorted by
+// name for stable output.
+type StatusResponse struct {
+	UptimeMs     int64          `json:"uptime_ms"`
+	PendingCells int            `json:"pending_cells"`
+	LeasedCells  int            `json:"leased_cells"`
+	DoneCells    int            `json:"done_cells"`
+	FailedCells  int            `json:"failed_cells"`
+	ActiveLeases int            `json:"active_leases"`
+	Workers      []WorkerStatus `json:"workers"`
 }

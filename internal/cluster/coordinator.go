@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,6 +79,17 @@ type lease struct {
 	deadline time.Time
 }
 
+// workerInfo is one worker's fleet-level history: when it was first and
+// last heard from (any lease poll, heartbeat, or complete push counts as
+// contact) and how many cells it delivered first. Guarded by
+// Coordinator.mu. Workers are never forgotten — a dead worker stays in
+// the status report marked not live, which is the interesting signal.
+type workerInfo struct {
+	firstSeen time.Time
+	lastSeen  time.Time
+	completed uint64
+}
+
 // Outcome is what a waiting client receives for one cell: the canonical
 // record bytes, or a terminal error message.
 type Outcome struct {
@@ -92,10 +105,13 @@ type Coordinator struct {
 	opt Options
 	m   *metrics
 
-	mu     sync.Mutex
-	cells  map[string]*cellState
-	queue  []string // pending fingerprints in arrival order
-	leases map[string]*lease
+	start time.Time // coordinator birth, for status uptime
+
+	mu      sync.Mutex
+	cells   map[string]*cellState
+	queue   []string // pending fingerprints in arrival order
+	leases  map[string]*lease
+	workers map[string]*workerInfo // every worker ever heard from
 
 	closed     chan struct{}
 	closeOnce  sync.Once
@@ -121,8 +137,10 @@ func New(opt Options) *Coordinator {
 	}
 	c := &Coordinator{
 		opt:        opt,
+		start:      time.Now(),
 		cells:      make(map[string]*cellState),
 		leases:     make(map[string]*lease),
+		workers:    make(map[string]*workerInfo),
 		closed:     make(chan struct{}),
 		reaperDone: make(chan struct{}),
 	}
@@ -246,6 +264,7 @@ func (c *Coordinator) Lease(worker string, max int) *LeaseGrant {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reapLocked(now)
+	c.touchWorkerLocked(worker, now)
 
 	var take []*cellState
 	rest := c.queue[:0]
@@ -326,6 +345,7 @@ func (c *Coordinator) Heartbeat(leaseID string) bool {
 		return false
 	}
 	l.deadline = now.Add(c.opt.LeaseTTL)
+	c.touchWorkerLocked(l.worker, now)
 	return true
 }
 
@@ -343,6 +363,7 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	)
 	c.mu.Lock()
 	c.reapLocked(now)
+	c.touchWorkerLocked(req.Worker, now)
 	l := c.leases[req.LeaseID]
 	for _, res := range req.Results {
 		switch {
@@ -404,14 +425,151 @@ func (c *Coordinator) finishLocked(cs *cellState, body []byte, sum, errMsg, work
 	cs.body, cs.sum, cs.errMsg = body, sum, errMsg
 	cs.leases = nil
 	if errMsg == "" {
-		if worker == "" {
-			worker = "unknown"
+		label := worker
+		if label == "" {
+			label = "unknown"
 		}
-		c.m.completed.With(worker).Inc()
+		c.m.completed.With(label).Inc()
+		if worker != "" {
+			c.touchWorkerLocked(worker, time.Now()).completed++
+		}
 	} else {
 		c.m.failed.Inc()
 	}
 	close(cs.doneCh)
+}
+
+// touchWorkerLocked records contact from a worker, creating its history
+// record on first sight. A no-op for the empty name.
+func (c *Coordinator) touchWorkerLocked(name string, now time.Time) *workerInfo {
+	if name == "" {
+		return &workerInfo{firstSeen: now, lastSeen: now}
+	}
+	wi := c.workers[name]
+	if wi == nil {
+		wi = &workerInfo{firstSeen: now}
+		c.workers[name] = wi
+	}
+	wi.lastSeen = now
+	return wi
+}
+
+// ReportWorker records contact from the named worker and mirrors its
+// metrics snapshot — obs.Registry.Snapshot flattened to name → value —
+// into the coordinator's registry as per-worker-labelled gauge families:
+// a worker-side cachecraft_sim_runs_total re-exports here as
+// cachecraft_worker_sim_runs_total{worker="name"}. Gauges are Set, not
+// added, so repeated snapshots are idempotent and the coordinator's
+// /metrics always shows each worker's latest values. Snapshot entries
+// that carry label strings (they contain '{') or are not legal
+// Prometheus identifiers are skipped. A nil snapshot reports liveness
+// only.
+func (c *Coordinator) ReportWorker(name string, snap map[string]uint64) {
+	if name == "" {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.touchWorkerLocked(name, now)
+	c.mu.Unlock()
+	for metric, v := range snap {
+		fam := "cachecraft_worker_" + strings.TrimPrefix(metric, "cachecraft_")
+		if !validMetricName(fam) {
+			continue
+		}
+		// GaugeVec re-registration dedupes by name, so this is a cheap
+		// map lookup after the first snapshot.
+		c.opt.Registry.GaugeVec(fam,
+			"Worker-reported metric, re-exported per worker by the coordinator.",
+			"worker").With(name).Set(int64(v))
+	}
+}
+
+// validMetricName reports whether s is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Status assembles the point-in-time cluster picture behind
+// GET /v1/cluster/status: cell counts by lifecycle state, live lease
+// count, and one row per worker ever heard from, sorted by name. A
+// worker is live while its last contact is within three lease TTLs —
+// past one TTL its leases are already being reaped, and past three it is
+// presumed gone rather than merely slow.
+func (c *Coordinator) Status() StatusResponse {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	resp := StatusResponse{
+		UptimeMs: now.Sub(c.start).Milliseconds(),
+		Workers:  []WorkerStatus{},
+	}
+	for _, cs := range c.cells {
+		switch {
+		case cs.done && cs.errMsg == "":
+			resp.DoneCells++
+		case cs.done:
+			resp.FailedCells++
+		case len(cs.leases) > 0:
+			resp.LeasedCells++
+		default:
+			resp.PendingCells++
+		}
+	}
+	resp.ActiveLeases = len(c.leases)
+
+	type leaseAgg struct {
+		count  int
+		oldest time.Time
+	}
+	byWorker := make(map[string]leaseAgg, len(c.leases))
+	for _, l := range c.leases {
+		agg := byWorker[l.worker]
+		agg.count++
+		if agg.oldest.IsZero() || l.granted.Before(agg.oldest) {
+			agg.oldest = l.granted
+		}
+		byWorker[l.worker] = agg
+	}
+
+	liveWithin := 3 * c.opt.LeaseTTL
+	for name, wi := range c.workers {
+		ws := WorkerStatus{
+			Name:           name,
+			Live:           now.Sub(wi.lastSeen) <= liveWithin,
+			LastSeenMs:     now.Sub(wi.lastSeen).Milliseconds(),
+			CellsCompleted: wi.completed,
+		}
+		if agg, ok := byWorker[name]; ok {
+			ws.ActiveLeases = agg.count
+			ws.OldestLeaseMs = now.Sub(agg.oldest).Milliseconds()
+		}
+		if alive := now.Sub(wi.firstSeen).Seconds(); alive > 0 && wi.completed > 0 {
+			ws.CellsPerSec = float64(wi.completed) / alive
+		}
+		resp.Workers = append(resp.Workers, ws)
+	}
+	sort.Slice(resp.Workers, func(i, j int) bool {
+		return resp.Workers[i].Name < resp.Workers[j].Name
+	})
+	return resp
 }
 
 // failAttemptLocked charges one failed dispatch (worker-reported error or
@@ -521,4 +679,21 @@ func (c *Coordinator) countWorkers() (workers, leases int) {
 		seen[l.worker] = true
 	}
 	return len(seen), len(c.leases)
+}
+
+// countKnown reports workers ever heard from and the subset seen within
+// the liveness horizon (3× lease TTL) — the samplers behind the
+// known/live worker gauges.
+func (c *Coordinator) countKnown() (known, live int) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	horizon := 3 * c.opt.LeaseTTL
+	for _, wi := range c.workers {
+		known++
+		if now.Sub(wi.lastSeen) <= horizon {
+			live++
+		}
+	}
+	return known, live
 }

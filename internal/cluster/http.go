@@ -22,6 +22,7 @@ func (c *Coordinator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/cluster/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/cluster/complete", c.handleComplete)
 	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -168,6 +169,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			version.String(), req.Sim)
 		return
 	}
+	// Polls double as liveness and telemetry reports, so an idle worker
+	// (every poll answered 204) still shows up live on /v1/cluster/status
+	// with fresh cachecraft_worker_* families on /metrics.
+	c.ReportWorker(req.Worker, req.Metrics)
 	grant := c.Lease(req.Worker, req.Max)
 	if grant == nil {
 		w.Header().Set("Retry-After", "1")
@@ -195,11 +200,25 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	// Report before resolving the lease: a worker whose lease just
+	// expired is still alive, and its metrics are still current.
+	c.ReportWorker(req.Worker, req.Metrics)
 	if !c.Heartbeat(req.LeaseID) {
 		httpError(w, http.StatusGone, "lease %q expired or unknown", req.LeaseID)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStatus answers GET /v1/cluster/status with a point-in-time
+// picture of queue depth and fleet health — the JSON twin of the
+// cachecraft_cluster_* metric families, shaped for humans and scripts
+// rather than scrapers.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(c.Status())
 }
 
 // retryAfterSeconds parses a Retry-After header as integer seconds

@@ -65,5 +65,15 @@ func newMetrics(reg *obs.Registry, c *Coordinator) *metrics {
 	reg.GaugeFunc("cachecraft_cluster_active_leases",
 		"Live leases across all workers.",
 		func() float64 { _, l := c.countWorkers(); return float64(l) })
+	// Fleet liveness, sampled from the worker-contact history: known is
+	// every worker ever heard from (polls count, so an idle worker is
+	// known), live is the subset seen within three lease TTLs. known -
+	// live is the dead-worker count an operator alerts on.
+	reg.GaugeFunc("cachecraft_cluster_known_workers",
+		"Workers that have ever contacted this coordinator (lease poll, heartbeat, or result push).",
+		func() float64 { k, _ := c.countKnown(); return float64(k) })
+	reg.GaugeFunc("cachecraft_cluster_live_workers",
+		"Known workers heard from within the liveness horizon (3x lease TTL).",
+		func() float64 { _, l := c.countKnown(); return float64(l) })
 	return m
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cachecraft/internal/bench"
+	"cachecraft/internal/obs"
 	"cachecraft/internal/store"
 	"cachecraft/internal/version"
 )
@@ -43,6 +44,11 @@ type WorkerOptions struct {
 	PollMax time.Duration
 	// HTTPClient overrides the default client (tests, timeouts).
 	HTTPClient *http.Client
+	// Registry, when set, is snapshotted onto every lease poll and
+	// heartbeat so the coordinator can re-export this worker's metrics
+	// under per-worker-labelled families on its own /metrics. Optional:
+	// without it the worker reports liveness only.
+	Registry *obs.Registry
 	// Logger reports lease churn and push failures (nil = silent).
 	Logger *slog.Logger
 }
@@ -230,7 +236,11 @@ func (w *Worker) heartbeat(ctx context.Context, grant *LeaseGrant) {
 			return
 		case <-tick.C:
 		}
-		code, _, err := w.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{LeaseID: grant.LeaseID}, nil)
+		code, _, err := w.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{
+			LeaseID: grant.LeaseID,
+			Worker:  w.opt.Name,
+			Metrics: w.snapshot(),
+		}, nil)
 		switch {
 		case ctx.Err() != nil:
 			return
@@ -248,9 +258,10 @@ func (w *Worker) heartbeat(ctx context.Context, grant *LeaseGrant) {
 func (w *Worker) lease(ctx context.Context) (*LeaseGrant, time.Duration, error) {
 	var grant LeaseGrant
 	code, hdr, err := w.post(ctx, "/v1/cluster/lease", LeaseRequest{
-		Worker: w.opt.Name,
-		Max:    w.opt.Batch,
-		Sim:    version.String(),
+		Worker:  w.opt.Name,
+		Max:     w.opt.Batch,
+		Sim:     version.String(),
+		Metrics: w.snapshot(),
 	}, &grant)
 	switch {
 	case err != nil:
@@ -327,6 +338,23 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) (int, htt
 		}
 	}
 	return resp.StatusCode, resp.Header, nil
+}
+
+// snapshot flattens the worker's registry to the name → value map the
+// wire protocol carries; nil when no registry was configured. Polls
+// carry it too — not just heartbeats — so an idle worker's families
+// stay fresh on the coordinator.
+func (w *Worker) snapshot() map[string]uint64 {
+	if w.opt.Registry == nil {
+		return nil
+	}
+	c := w.opt.Registry.Snapshot()
+	names := c.Names()
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		out[n] = c.Get(n)
+	}
+	return out
 }
 
 func (w *Worker) logf(format string, args ...any) {

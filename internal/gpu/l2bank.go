@@ -341,6 +341,9 @@ func (b *L2Bank) enqueueMiss(now sim.Cycle, lineAddr uint64, mask uint64, t l2Ta
 		if b.m.audit != nil {
 			b.m.audit.MSHRAlloc(now, b.id, lineAddr, len(b.mshr))
 		}
+		if b.m.prMSHR != nil {
+			b.m.prMSHR.Add(uint64(now), float64(len(b.mshr)))
+		}
 	}
 	e := &b.entries[ei]
 	e.targets = append(e.targets, t)
@@ -380,6 +383,9 @@ func (b *L2Bank) onFill(now sim.Cycle, lineAddr uint64, mask uint64) {
 		b.m.audit.MSHRRelease(now, b.id, lineAddr)
 	}
 	delete(b.mshr, lineAddr)
+	if b.m.prMSHR != nil {
+		b.m.prMSHR.Add(uint64(now), float64(len(b.mshr)))
+	}
 	b.pump(now)
 	// pump can replay parked ops whose misses grow the entry slab, so
 	// re-index entries[ei] each pass instead of holding a pointer across
@@ -438,6 +444,9 @@ func (b *L2Bank) InsertReconstructed(now sim.Cycle, addr uint64) {
 	// its own fill in a pathological set-conflict case).
 	if b.cache.Probe(addr) != cache.Hit {
 		return
+	}
+	if b.m.prReconFill != nil {
+		b.m.prReconFill.Add(uint64(now), 1)
 	}
 	b.reconPending[addr] = true
 	b.reconFIFO = append(b.reconFIFO, reconEntry{addr: addr, tick: b.fillTick})

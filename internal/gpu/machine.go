@@ -63,6 +63,15 @@ type Machine struct {
 	trCtx context.Context // parent span context for Run's stage spans
 
 	audit *audit.Checker // invariant checker (nil = off)
+
+	// Time-resolved probe layer (nil = off, one branch per probe point).
+	// Shared series are safe to feed from every bank: the engine runs
+	// events in cycle order, so observations arrive cycle-monotone.
+	probes      *obs.Probes
+	prIssue     *obs.Series // Sum: sector requests issued per window
+	prMSHR      *obs.Series // Mean: bank MSHR occupancy at alloc/release
+	prReconFill *obs.Series // Sum: reconstructed-line sector fills
+	prReconHit  *obs.Series // Mean: 1 per reconstructed sector used, 0 wasted
 }
 
 // Result summarizes one simulation run.
@@ -223,10 +232,70 @@ func (m *Machine) bankFor(addr uint64) *L2Bank {
 
 // reconFeedback forwards reconstruction usage to an observing scheme.
 func (m *Machine) reconFeedback(addr uint64, used bool) {
-	if obs, ok := m.scheme.(protect.ReconstructionObserver); ok {
-		obs.ReconstructedUse(addr, used)
+	if m.prReconHit != nil {
+		v := 0.0
+		if used {
+			v = 1
+		}
+		m.prReconHit.Add(uint64(m.eng.Now()), v)
+	}
+	if ro, ok := m.scheme.(protect.ReconstructionObserver); ok {
+		ro.ReconstructedUse(addr, used)
 	}
 }
+
+// SetProbes attaches the time-resolved probe layer: every hot component
+// registers its tracks in p and feeds them synchronously at its own
+// probe points. Must be called before Run. Probes never schedule engine
+// events (see protect.Env.FinishDecode for why that would perturb
+// same-cycle ordering), so attaching them cannot change simulated
+// timing or results — only observe them. Composes with EnableAudit in
+// either order: the probe layer uses its own hook slots, and both
+// scheme wrappers preserve ReconstructionObserver. Calling it again is
+// a no-op.
+func (m *Machine) SetProbes(p *obs.Probes) {
+	if p == nil || m.probes != nil {
+		return
+	}
+	m.probes = p
+	m.prIssue = p.Series("sm.issue", obs.Sum)
+	m.prMSHR = p.Series("l2.mshr_occupancy", obs.Mean)
+	m.prReconFill = p.Series("l2.recon_fills", obs.Sum)
+	m.prReconHit = p.Series("l2.recon_hit_rate", obs.Mean)
+
+	now := func() uint64 { return uint64(m.eng.Now()) }
+	l2Fills := p.Series("l2.fills", obs.Sum)
+	for i, b := range m.banks {
+		b.cache.SetProbes(now, p.Series(fmt.Sprintf("l2.bank%d.hit_rate", i), obs.Mean), l2Fills)
+	}
+
+	maxClass := 0
+	for _, c := range mem.Classes() {
+		if int(c) > maxClass {
+			maxClass = int(c)
+		}
+	}
+	classBytes := make([]*obs.Series, maxClass+1)
+	for _, c := range mem.Classes() {
+		classBytes[c] = p.Series("dram.bytes."+c.String(), obs.Sum)
+	}
+	m.dram.SetProbes(classBytes, p.Series("dram.row_hit_rate", obs.Mean))
+
+	m.reqNet.SetProbe(p.Series("xbar.req.bytes", obs.Sum))
+	m.respNet.SetProbe(p.Series("xbar.resp.bytes", obs.Sum))
+
+	depth := p.Series("sim.queue_depth", obs.Mean)
+	m.eng.SetDepthProbe(func(at sim.Cycle, pending int) {
+		depth.Add(uint64(at), float64(pending))
+	})
+
+	// The wrapper preserves ReconstructionObserver, so reconFeedback's
+	// type assertion on m.scheme keeps working for CacheCraft.
+	m.scheme = protect.WrapProbed(m.scheme, p.Series("protect.join_latency", obs.Mean))
+}
+
+// Probes reports the attached probe set (nil when probes are off).
+func (m *Machine) Probes() *obs.Probes { return m.probes }
 
 // EnableAudit arms the invariant checker on every layer of the machine:
 // engine step ordering, SM↔L2 transaction tokens, L2 MSHR pairing, the

@@ -1,0 +1,138 @@
+package obs
+
+import "sort"
+
+// Phase analysis condenses a probe track into the two questions the
+// paper's temporal argument turns on: when does the metric settle
+// (warmup vs steady state), and where does it burst (redundancy traffic
+// spikes). Both are pure functions of SeriesData, so cachecraft-report
+// can run them on a timeline file long after the simulation is gone.
+
+// PhaseSummary splits a series at the cycle where it first settles near
+// its steady-state level and reports the mean on each side.
+type PhaseSummary struct {
+	Series      string  // track name
+	Samples     int     // total samples analyzed
+	WarmupEnd   uint64  // first cycle of the steady phase
+	WarmupMean  float64 // mean sample value before WarmupEnd
+	SteadyMean  float64 // mean sample value from WarmupEnd on
+	WarmupCount int     // samples in the warmup phase
+	SteadyCount int     // samples in the steady phase
+}
+
+// AnalyzePhases computes a warmup/steady split for the series. The
+// steady level is estimated from the final half of the samples; the
+// warmup boundary is the first sample within 10% (or an absolute 0.02,
+// whichever is looser) of that level. It reports ok=false when the
+// series has fewer than 4 samples — too short to call anything steady.
+func AnalyzePhases(d SeriesData) (PhaseSummary, bool) {
+	vals := d.Values()
+	n := len(vals)
+	if n < 4 {
+		return PhaseSummary{Series: d.Name, Samples: n}, false
+	}
+	steady := mean(vals[n/2:])
+	tol := 0.1 * abs(steady)
+	if tol < 0.02 {
+		tol = 0.02
+	}
+	boundary := n / 2 // never later than the estimation region's start
+	for i, v := range vals[:n/2] {
+		if abs(v-steady) <= tol {
+			boundary = i
+			break
+		}
+	}
+	out := PhaseSummary{
+		Series:      d.Name,
+		Samples:     n,
+		WarmupEnd:   d.Samples[boundary].Cycle,
+		WarmupMean:  mean(vals[:boundary]),
+		SteadyMean:  mean(vals[boundary:]),
+		WarmupCount: boundary,
+		SteadyCount: n - boundary,
+	}
+	return out, true
+}
+
+// Burst is a contiguous run of samples well above the series' typical
+// level.
+type Burst struct {
+	StartCycle uint64  // first bursting sample's cycle
+	EndCycle   uint64  // first cycle after the last bursting sample
+	Peak       float64 // highest sample value inside the burst
+	Baseline   float64 // the series' median sample value
+}
+
+// DetectBursts finds runs of samples exceeding twice the series'
+// median — the redundancy-traffic signature CacheCraft's reconstructed
+// caching is meant to flatten. A series whose median is zero (mostly
+// idle) uses half its peak as the threshold instead, so a single spike
+// on a quiet track still registers.
+func DetectBursts(d SeriesData) []Burst {
+	vals := d.Values()
+	if len(vals) == 0 {
+		return nil
+	}
+	med := median(vals)
+	threshold := 2 * med
+	if med == 0 {
+		peak := 0.0
+		for _, v := range vals {
+			if v > peak {
+				peak = v
+			}
+		}
+		if peak == 0 {
+			return nil
+		}
+		threshold = peak / 2
+	}
+	var bursts []Burst
+	open := false
+	for i, v := range vals {
+		s := d.Samples[i]
+		if v > threshold {
+			if !open {
+				bursts = append(bursts, Burst{StartCycle: s.Cycle, Baseline: med})
+				open = true
+			}
+			b := &bursts[len(bursts)-1]
+			if v > b.Peak {
+				b.Peak = v
+			}
+			b.EndCycle = s.Cycle + d.Window
+		} else {
+			open = false
+		}
+	}
+	return bursts
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TimelineCell is one simulation's worth of probe tracks, labelled with
+// the cell that produced it (typically "config/workload/scheme").
+type TimelineCell struct {
+	Label  string       `json:"label"`
+	Series []SeriesData `json:"series"`
+}
+
+// Timeline collects probe snapshots and trace spans from a run (or a
+// whole sweep) for export as NDJSON or Chrome trace-event JSON. It is
+// safe for concurrent use: bench fans cells out across workers, and the
+// span tracer exports from whichever goroutine ends the span. Timeline
+// implements Exporter so one tracer can feed both a -trace-out file and
+// the timeline.
+type Timeline struct {
+	mu    sync.Mutex
+	cells []TimelineCell
+	spans []SpanData
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// AddCell flushes p and records its snapshot under the given label.
+// Cells with no observations are still recorded (an empty track list
+// says "this cell ran with probes on and saw nothing").
+func (t *Timeline) AddCell(label string, p *Probes) {
+	p.Flush()
+	cell := TimelineCell{Label: label, Series: p.Snapshot()}
+	t.mu.Lock()
+	t.cells = append(t.cells, cell)
+	t.mu.Unlock()
+}
+
+// ExportSpan implements Exporter, collecting duration events for the
+// trace-event export.
+func (t *Timeline) ExportSpan(d SpanData) {
+	t.mu.Lock()
+	t.spans = append(t.spans, d)
+	t.mu.Unlock()
+}
+
+// Cells returns the collected cells sorted by label. Completion order
+// across sweep workers is scheduling-dependent; sorting keeps every
+// export stable for identical inputs.
+func (t *Timeline) Cells() []TimelineCell {
+	t.mu.Lock()
+	out := append([]TimelineCell(nil), t.cells...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Spans returns the collected spans in arrival order.
+func (t *Timeline) Spans() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanData(nil), t.spans...)
+}
+
+// timelineLine is one NDJSON record: exactly one of Series or Span is
+// set. Cell labels the series' owning cell; span lines leave it empty.
+type timelineLine struct {
+	Cell   string      `json:"cell,omitempty"`
+	Series *SeriesData `json:"series,omitempty"`
+	Span   *SpanData   `json:"span,omitempty"`
+}
+
+// WriteNDJSON writes the timeline as newline-delimited JSON: one line
+// per (cell, series) pair, then one line per span. This is the format
+// cachecraft-report reads back.
+func (t *Timeline) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, cell := range t.Cells() {
+		for i := range cell.Series {
+			if err := enc.Encode(timelineLine{Cell: cell.Label, Series: &cell.Series[i]}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sp := range t.Spans() {
+		sp := sp
+		if err := enc.Encode(timelineLine{Span: &sp}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNDJSON parses a timeline previously written with WriteNDJSON.
+func ReadNDJSON(r io.Reader) (*Timeline, error) {
+	t := NewTimeline()
+	byLabel := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for n := 1; sc.Scan(); n++ {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var line timelineLine
+		if err := json.Unmarshal([]byte(raw), &line); err != nil {
+			return nil, fmt.Errorf("timeline line %d: %w", n, err)
+		}
+		switch {
+		case line.Series != nil:
+			idx, ok := byLabel[line.Cell]
+			if !ok {
+				idx = len(t.cells)
+				byLabel[line.Cell] = idx
+				t.cells = append(t.cells, TimelineCell{Label: line.Cell})
+			}
+			t.cells[idx].Series = append(t.cells[idx].Series, *line.Series)
+		case line.Span != nil:
+			t.spans = append(t.spans, *line.Span)
+		default:
+			return nil, fmt.Errorf("timeline line %d: neither series nor span", n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TraceEvent is one Chrome trace-event record, the subset of the format
+// Perfetto and chrome://tracing load: "C" counter samples (probe
+// tracks), "X" complete events (tracer spans), and "M" metadata (track
+// naming). Timestamps are microseconds by convention; probe counters
+// map one simulated cycle to one microsecond so the cycle axis survives
+// the unit.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the JSON-object form of a Chrome trace. Perfetto accepts
+// either a bare event array or this object; the object form lets us
+// carry the unit convention in otherData.
+type TraceFile struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// spanPid is the synthetic "process" that holds wall-clock tracer spans,
+// keeping them off the simulated-cycle counter tracks (the two use
+// different time bases).
+const spanPid = 0
+
+// TraceEvents renders the timeline as Chrome trace events: one process
+// per cell carrying its probe counter tracks (ts = simulated cycle), and
+// one process of wall-clock span durations (ts = microseconds since the
+// trace epoch, one thread row per trace id).
+func (t *Timeline) TraceEvents() TraceFile {
+	var events []TraceEvent
+	for ci, cell := range t.Cells() {
+		pid := ci + 1
+		events = append(events, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": cell.Label},
+		})
+		for _, sd := range cell.Series {
+			mode, err := ProbeModeByName(sd.Mode)
+			if err != nil {
+				mode = Sum
+			}
+			for _, s := range sd.Samples {
+				events = append(events, TraceEvent{
+					Name: sd.Name, Ph: "C", Ts: float64(s.Cycle), Pid: pid,
+					Args: map[string]any{"value": s.Value(mode)},
+				})
+			}
+		}
+	}
+	spans := t.Spans()
+	if len(spans) > 0 {
+		events = append(events, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: spanPid,
+			Args: map[string]any{"name": "spans (wall clock)"},
+		})
+	}
+	// Span timestamps are absolute wall-clock micros; rebase to the
+	// earliest span so the track starts near zero, and give each trace id
+	// its own thread row in first-seen order.
+	var epoch int64
+	for i, sp := range spans {
+		if i == 0 || sp.Start < epoch {
+			epoch = sp.Start
+		}
+	}
+	tids := make(map[string]int)
+	for _, sp := range spans {
+		tid, ok := tids[sp.Trace]
+		if !ok {
+			tid = len(tids) + 1
+			tids[sp.Trace] = tid
+		}
+		args := map[string]any{"trace": sp.Trace, "span": sp.Span}
+		if sp.Parent != "" {
+			args["parent"] = sp.Parent
+		}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		events = append(events, TraceEvent{
+			Name: sp.Name, Ph: "X",
+			Ts:  float64(sp.Start - epoch),
+			Dur: float64(sp.Dur),
+			Pid: spanPid, Tid: tid,
+			Args: args,
+		})
+	}
+	return TraceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"format": "cachecraft timeline",
+			"units":  "counter tracks: ts is simulated cycles; span track: ts is wall-clock microseconds",
+		},
+	}
+}
+
+// WriteTraceEvents writes the timeline as a Chrome trace JSON object,
+// loadable at https://ui.perfetto.dev (or chrome://tracing).
+func (t *Timeline) WriteTraceEvents(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.TraceEvents())
+}
+
+// WriteFile writes the timeline to path, choosing the format from the
+// extension: ".json" gets Chrome trace events (for Perfetto), anything
+// else gets NDJSON (for cachecraft-report).
+func (t *Timeline) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if strings.HasSuffix(path, ".json") {
+		err = t.WriteTraceEvents(bw)
+	} else {
+		err = t.WriteNDJSON(bw)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Tee fans spans out to several exporters, so one tracer can feed both
+// an NDJSON span file and a timeline.
+func Tee(exps ...Exporter) Exporter { return teeExporter(exps) }
+
+type teeExporter []Exporter
+
+func (t teeExporter) ExportSpan(d SpanData) {
+	for _, e := range t {
+		e.ExportSpan(d)
+	}
+}

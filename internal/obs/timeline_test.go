@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func unmarshalFile(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}
+
+func readFileNDJSON(path string) (*Timeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadNDJSON(f)
+}
+
+func sampleTimeline() *Timeline {
+	tl := NewTimeline()
+	p := NewProbes(100)
+	sum := p.Series("dram.bytes.demand", Sum)
+	mean := p.Series("l2.bank0.hit_rate", Mean)
+	for cy := uint64(0); cy < 1000; cy += 7 {
+		sum.Add(cy, 32)
+		mean.Add(cy, float64(cy%2))
+	}
+	tl.AddCell("base/stream/cachecraft", p)
+
+	q := NewProbes(100)
+	q.Series("sm.issue", Sum).Add(5, 4)
+	tl.AddCell("base/scan/none", q)
+
+	tl.ExportSpan(SpanData{
+		Trace: "t1", Span: "s1", Name: "simulate",
+		Start: 1_000_000, Dur: 2500,
+		Attrs: map[string]any{"workload": "stream"},
+	})
+	tl.ExportSpan(SpanData{
+		Trace: "t1", Span: "s2", Parent: "s1", Name: "store.put",
+		Start: 1_002_000, Dur: 40,
+	})
+	return tl
+}
+
+// TestNDJSONRoundTrip: WriteNDJSON → ReadNDJSON reproduces every cell
+// (sorted by label — the canonical order) and every span.
+func TestNDJSONRoundTrip(t *testing.T) {
+	tl := sampleTimeline()
+	var buf bytes.Buffer
+	if err := tl.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Cells(), tl.Cells(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cells round-tripped as\n%+v\nwant\n%+v", got, want)
+	}
+	gotSpans, wantSpans := back.Spans(), tl.Spans()
+	if len(gotSpans) != len(wantSpans) {
+		t.Fatalf("spans = %d, want %d", len(gotSpans), len(wantSpans))
+	}
+	for i := range gotSpans {
+		if gotSpans[i].Span != wantSpans[i].Span || gotSpans[i].Name != wantSpans[i].Name ||
+			gotSpans[i].Start != wantSpans[i].Start || gotSpans[i].Dur != wantSpans[i].Dur {
+			t.Fatalf("span %d round-tripped as %+v, want %+v", i, gotSpans[i], wantSpans[i])
+		}
+	}
+}
+
+// TestTraceEventSchemaRoundTrip: the exported bytes must parse back as a
+// Chrome trace-event JSON object whose every event is well-formed — the
+// schema contract Perfetto relies on.
+func TestTraceEventSchemaRoundTrip(t *testing.T) {
+	tl := sampleTimeline()
+	var buf bytes.Buffer
+	if err := tl.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(back.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	named := map[int]bool{} // pids carrying a process_name metadata event
+	var counters, spans int
+	for i, ev := range back.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" {
+				t.Fatalf("event %d: metadata %q, want process_name", i, ev.Name)
+			}
+			if name, _ := ev.Args["name"].(string); name == "" {
+				t.Fatalf("event %d: process_name without a name arg: %+v", i, ev)
+			}
+			named[ev.Pid] = true
+		case "C":
+			counters++
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("event %d: counter without a value arg: %+v", i, ev)
+			}
+			if !named[ev.Pid] {
+				t.Fatalf("event %d: counter on unnamed pid %d", i, ev.Pid)
+			}
+			if ev.Pid == spanPid {
+				t.Fatalf("event %d: counter on the span pid", i)
+			}
+		case "X":
+			spans++
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Fatalf("event %d: negative span timing: %+v", i, ev)
+			}
+			if ev.Pid != spanPid {
+				t.Fatalf("event %d: span on pid %d, want %d", i, ev.Pid, spanPid)
+			}
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ev.Ph)
+		}
+	}
+	if counters == 0 || spans != 2 {
+		t.Fatalf("exported %d counters and %d spans, want >0 and 2", counters, spans)
+	}
+	// The earliest span is rebased to the trace epoch.
+	var minTs = -1.0
+	for _, ev := range back.TraceEvents {
+		if ev.Ph == "X" && (minTs < 0 || ev.Ts < minTs) {
+			minTs = ev.Ts
+		}
+	}
+	if minTs != 0 {
+		t.Fatalf("earliest span ts = %v, want 0 (rebased to epoch)", minTs)
+	}
+}
+
+// TestWriteFilePicksFormatByExtension: .json means Chrome trace events,
+// anything else means NDJSON.
+func TestWriteFilePicksFormatByExtension(t *testing.T) {
+	tl := sampleTimeline()
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "tl.json")
+	if err := tl.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := unmarshalFile(jsonPath, &tf); err != nil {
+		t.Fatalf(".json file is not a trace-event object: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal(".json file holds no trace events")
+	}
+
+	ndPath := filepath.Join(dir, "tl.ndjson")
+	if err := tl.WriteFile(ndPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readFileNDJSON(ndPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells()) != 2 {
+		t.Fatalf("ndjson file holds %d cells, want 2", len(back.Cells()))
+	}
+}
+
+// TestDeterministicExportAcrossAddOrder: cells are sorted by label at
+// export, so sweep completion order cannot change the file bytes.
+func TestDeterministicExportAcrossAddOrder(t *testing.T) {
+	build := func(reverse bool) []byte {
+		tl := NewTimeline()
+		labels := []string{"a/stream/none", "b/scan/none"}
+		if reverse {
+			labels[0], labels[1] = labels[1], labels[0]
+		}
+		for _, lab := range labels {
+			p := NewProbes(10)
+			p.Series("sm.issue", Sum).Add(1, 1)
+			tl.AddCell(lab, p)
+		}
+		var buf bytes.Buffer
+		if err := tl.WriteNDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(false), build(true)) {
+		t.Fatal("export bytes depend on cell arrival order")
+	}
+}

@@ -1,0 +1,66 @@
+package protect
+
+import (
+	"cachecraft/internal/mem"
+	"cachecraft/internal/obs"
+	"cachecraft/internal/sim"
+)
+
+// WrapProbed decorates a scheme so every ReadMiss's join latency — the
+// cycles between the controller issuing the miss and the scheme's
+// (possibly multi-leg) completion joining back — lands in the given
+// probe series (Mean mode). Like WrapAudited, the wrapper preserves the
+// inner scheme's ReconstructionObserver capability so predictor feedback
+// keeps flowing when the scheme is CacheCraft; the two wrappers compose
+// in either order.
+//
+// The wrapper allocates one closure per ReadMiss. That is fine: probes
+// on is an explicitly requested observability mode, and the probes-off
+// path never sees the wrapper at all (the machine only wraps when a
+// probe set is attached).
+func WrapProbed(s Scheme, join *obs.Series) Scheme {
+	p := &probedScheme{inner: s, join: join}
+	if ro, ok := s.(ReconstructionObserver); ok {
+		return &probedObserver{probedScheme: p, ro: ro}
+	}
+	return p
+}
+
+type probedScheme struct {
+	inner Scheme
+	join  *obs.Series
+}
+
+func (p *probedScheme) Name() string { return p.inner.Name() }
+
+func (p *probedScheme) ReadMiss(now sim.Cycle, lineAddr uint64, mask uint64, class mem.Class, done func(sim.Cycle)) {
+	p.inner.ReadMiss(now, lineAddr, mask, class, func(at sim.Cycle) {
+		p.join.Add(uint64(at), float64(at-now))
+		done(at)
+	})
+}
+
+func (p *probedScheme) Writeback(now sim.Cycle, lineAddr uint64, dirtyMask uint64) {
+	p.inner.Writeback(now, lineAddr, dirtyMask)
+}
+
+func (p *probedScheme) NeedsRMWFetch() bool { return p.inner.NeedsRMWFetch() }
+
+func (p *probedScheme) Drain(now sim.Cycle) { p.inner.Drain(now) }
+
+// probedObserver adds ReconstructionObserver forwarding for schemes that
+// implement it (CacheCraft).
+type probedObserver struct {
+	*probedScheme
+	ro ReconstructionObserver
+}
+
+func (p *probedObserver) ReconstructedUse(addr uint64, used bool) {
+	p.ro.ReconstructedUse(addr, used)
+}
+
+var (
+	_ Scheme                 = (*probedScheme)(nil)
+	_ Scheme                 = (*probedObserver)(nil)
+	_ ReconstructionObserver = (*probedObserver)(nil)
+)

@@ -39,33 +39,10 @@ func newMetrics(reg *obs.Registry, r *bench.Runner, lim *limiter) *metrics {
 	m.sweepErrors = reg.Counter("cachecraft_sweep_cell_errors_total",
 		"Sweep cells that failed mid-stream and were reported as NDJSON error lines.")
 
-	stat := func(pick func(bench.Stats) int) func() uint64 {
-		return func() uint64 {
-			v := pick(r.Stats())
-			if v < 0 {
-				return 0
-			}
-			return uint64(v)
-		}
-	}
-	reg.CounterFunc("cachecraft_sim_runs_total",
-		"Simulations actually executed by the runner.",
-		stat(func(s bench.Stats) int { return s.Runs }))
-	reg.CounterFunc("cachecraft_memo_hits_total",
-		"Requests answered from the runner's in-memory memo.",
-		stat(func(s bench.Stats) int { return s.MemoHits }))
-	reg.CounterFunc("cachecraft_singleflight_dedups_total",
-		"Requests that piggybacked on an in-flight simulation.",
-		stat(func(s bench.Stats) int { return s.Dedups }))
-	reg.CounterFunc("cachecraft_store_hits_total",
-		"Runner lookups answered from the persistent result store.",
-		stat(func(s bench.Stats) int { return s.StoreHits }))
-	reg.CounterFunc("cachecraft_store_misses_total",
-		"Runner lookups that missed the persistent result store.",
-		stat(func(s bench.Stats) int { return s.StoreMisses }))
-	reg.CounterFunc("cachecraft_store_put_errors_total",
-		"Failed attempts to persist a result (the result was still returned).",
-		stat(func(s bench.Stats) int { return s.StoreErrors }))
+	// Runner accounting registers through the shared helper, so this
+	// process and cachecraft-worker's -debug-addr listener expose
+	// identical family names.
+	bench.RegisterRunnerMetrics(reg, r)
 	reg.GaugeFunc("cachecraft_inflight_sims",
 		"Simulation-bearing requests currently holding an in-flight slot.",
 		func() float64 { return float64(lim.inflight()) })
@@ -99,6 +76,8 @@ func endpointOf(r *http.Request) string {
 		return "cluster-complete"
 	case r.URL.Path == "/v1/cluster/heartbeat":
 		return "cluster-heartbeat"
+	case r.URL.Path == "/v1/cluster/status":
+		return "cluster-status"
 	case r.URL.Path == "/healthz":
 		return "healthz"
 	case r.URL.Path == "/metrics":

@@ -12,6 +12,7 @@ package xbar
 import (
 	"fmt"
 
+	"cachecraft/internal/obs"
 	"cachecraft/internal/sim"
 )
 
@@ -54,6 +55,7 @@ type Crossbar struct {
 	eject     []sim.ThrottledPort
 	bisection *sim.ThrottledPort
 	hook      func(at, deliver sim.Cycle, src, dst, bytes int)
+	prBytes   *obs.Series
 }
 
 // SetHook installs an observer called once per Transfer with the injection
@@ -63,6 +65,13 @@ type Crossbar struct {
 func (x *Crossbar) SetHook(fn func(at, deliver sim.Cycle, src, dst, bytes int)) {
 	x.hook = fn
 }
+
+// SetProbe attaches a time-resolved byte-traffic series (Sum mode:
+// bytes injected per sampling window). Link utilization is the window
+// sum divided by window × bisection bandwidth. This is a separate slot
+// from SetHook, which the audit layer owns, so -audit and probes
+// compose. Nil (the default) costs one branch per transfer.
+func (x *Crossbar) SetProbe(s *obs.Series) { x.prBytes = s }
 
 // Latency reports the configured fabric traversal latency.
 func (x *Crossbar) Latency() sim.Cycle { return x.cfg.Latency }
@@ -111,6 +120,9 @@ func (x *Crossbar) Transfer(at sim.Cycle, src, dst, bytes int) sim.Cycle {
 	deliver := t + x.cfg.Latency
 	if x.hook != nil {
 		x.hook(at, deliver, src, dst, bytes)
+	}
+	if x.prBytes != nil {
+		x.prBytes.Add(uint64(at), float64(bytes))
 	}
 	return deliver
 }
