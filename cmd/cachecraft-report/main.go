@@ -9,17 +9,27 @@
 //	cachecraft-report fig4.ndjson
 //	cachecraft-report -series hit_rate fig4.ndjson   # only matching tracks
 //	cachecraft-report -bursts dram.bytes.redundancy fig4.ndjson
+//	cachecraft-report -cluster http://host:8344      # live cluster health
+//
+// With -cluster the command instead queries a running coordinator's
+// /v1/cluster/status and prints a health summary: cell progress, active
+// workers, how many cells the coordinator replayed from its sweep
+// journal after a restart, and any quarantined poison cells with their
+// failure histories.
 //
 // Chrome trace-event (.json) timelines are for Perfetto; this command
 // reads the NDJSON form.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"cachecraft/internal/cluster"
 	"cachecraft/internal/obs"
 	"cachecraft/internal/stats"
 )
@@ -29,8 +39,16 @@ func main() {
 		seriesFilter = flag.String("series", "", "only summarize series whose name contains this substring")
 		burstSeries  = flag.String("bursts", "dram.bytes.redundancy", "series to scan for traffic bursts (empty = skip)")
 		csv          = flag.Bool("csv", false, "emit tables as CSV")
+		clusterURL   = flag.String("cluster", "", "coordinator base URL: report live cluster health instead of a timeline")
 	)
 	flag.Parse()
+	if *clusterURL != "" {
+		if flag.NArg() != 0 {
+			fail("-cluster takes no timeline argument")
+		}
+		clusterReport(*clusterURL, *csv)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cachecraft-report [flags] TIMELINE.ndjson")
 		flag.PrintDefaults()
@@ -107,6 +125,71 @@ func main() {
 			}
 			render(bt)
 			fmt.Fprintln(out)
+		}
+	}
+}
+
+// clusterReport renders a coordinator's /v1/cluster/status: overall cell
+// progress (including journal-replayed and quarantined counts), the
+// worker fleet, and one row per quarantined poison cell with the failure
+// history that condemned it.
+func clusterReport(url string, csv bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := cluster.NewClient(url).Status(ctx)
+	if err != nil {
+		fail("%v", err)
+	}
+	out := os.Stdout
+	render := func(t *stats.Table) {
+		if csv {
+			t.Render(stats.CSVWriter{Writer: out})
+		} else {
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+
+	sum := stats.NewTable(fmt.Sprintf("cluster — %s (up %s)", url, (time.Duration(st.UptimeMs)*time.Millisecond).Round(time.Second)),
+		"pending", "leased", "done", "failed", "quarantined", "journal replayed", "active leases")
+	sum.AddRow(
+		fmt.Sprintf("%d", st.PendingCells),
+		fmt.Sprintf("%d", st.LeasedCells),
+		fmt.Sprintf("%d", st.DoneCells),
+		fmt.Sprintf("%d", st.FailedCells),
+		fmt.Sprintf("%d", st.QuarantinedCells),
+		fmt.Sprintf("%d", st.JournalReplayedCells),
+		fmt.Sprintf("%d", st.ActiveLeases))
+	render(sum)
+
+	if len(st.Workers) > 0 {
+		wt := stats.NewTable("workers", "name", "live", "last seen", "leases", "completed", "cells/s")
+		for _, w := range st.Workers {
+			live := "yes"
+			if !w.Live {
+				live = "NO"
+			}
+			wt.AddRow(w.Name, live,
+				(time.Duration(w.LastSeenMs) * time.Millisecond).Round(time.Millisecond).String(),
+				fmt.Sprintf("%d", w.ActiveLeases),
+				fmt.Sprintf("%d", w.CellsCompleted),
+				fmt.Sprintf("%.2f", w.CellsPerSec))
+		}
+		render(wt)
+	}
+
+	if len(st.Quarantined) > 0 {
+		qt := stats.NewTable("quarantined poison cells", "workload", "scheme", "fingerprint", "failures")
+		for _, q := range st.Quarantined {
+			qt.AddRow(q.Workload, q.Scheme, q.Fingerprint, fmt.Sprintf("%d", len(q.History)))
+		}
+		render(qt)
+		for _, q := range st.Quarantined {
+			fmt.Fprintf(out, "%s/%s %s:\n", q.Workload, q.Scheme, q.Fingerprint)
+			for _, h := range q.History {
+				fmt.Fprintf(out, "  %s\n", h)
+			}
+			fmt.Fprintf(out, "  -> %s\n\n", q.Error)
 		}
 	}
 }

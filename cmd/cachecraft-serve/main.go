@@ -28,6 +28,16 @@
 // retries, and straggler re-dispatch; see docs/CLUSTER.md. With
 // -store-max-bytes the result store is pruned (oldest records first)
 // once a minute so long-running deployments don't grow disks unboundedly.
+//
+// Robustness knobs (docs/CLUSTER.md, "Failure modes & recovery"):
+// -journal points the coordinator at an append-only crash-recovery log —
+// kill -9 the process mid-sweep, restart it with the same -journal, and
+// resubmitted sweeps resume with every already-finished cell answered
+// from the journal, byte-identical. -quarantine-after pulls poison cells
+// (ones that keep killing workers) out of circulation. -breaker-threshold
+// / -breaker-cooldown govern the store's circuit breaker: a sick disk
+// degrades the store to compute-only instead of failing sweeps. -chaos
+// injects deterministic faults for drills; never set it in production.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"time"
 
 	"cachecraft/internal/bench"
+	"cachecraft/internal/chaos"
 	"cachecraft/internal/cluster"
 	"cachecraft/internal/config"
 	"cachecraft/internal/obs"
@@ -69,6 +80,12 @@ func main() {
 		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "coordinator: lease lifetime without a heartbeat")
 		retryBudget = flag.Int("retry-budget", 5, "coordinator: dispatch attempts per cell before terminal failure")
 		storeMax    = flag.Int64("store-max-bytes", 0, "prune the store's oldest records beyond this many bytes (0 = unbounded)")
+
+		journalPath = flag.String("journal", "", "coordinator: crash-recovery sweep journal file (empty = no journal)")
+		quarantine  = flag.Int("quarantine-after", 3, "coordinator: consecutive crash-like failures before a cell is quarantined as poison")
+		brkThresh   = flag.Int("breaker-threshold", 8, "store: consecutive I/O errors before the circuit breaker opens (0 = breaker off)")
+		brkCooldown = flag.Duration("breaker-cooldown", 3*time.Second, "store: how long the breaker stays open before probing the disk again")
+		chaosSpec   = flag.String("chaos", "", "fault-injection spec, e.g. 'seed=7;store.put:error:0.1;serve.request:latency:0.05,delay=20ms' (testing only)")
 	)
 	flag.Parse()
 	log.SetPrefix("cachecraft-serve: ")
@@ -81,13 +98,28 @@ func main() {
 	r := bench.NewRunner(base)
 	r.SetWorkers(*jobs)
 
+	inj, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inj != nil {
+		log.Printf("CHAOS ENABLED (seed=%d): faults will be injected on purpose", inj.Seed())
+	}
+
+	// One registry for the whole process: the HTTP layer and (in
+	// coordinator mode) the cluster share a /metrics exposition.
+	reg := obs.NewRegistry()
 	var st *store.Store
 	if *storeDir != "" {
-		var err error
 		if st, err = store.Open(*storeDir); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("result store at %s", st.Dir())
+		st.SetChaos(inj)
+		if *brkThresh > 0 {
+			st.SetBreaker(*brkThresh, *brkCooldown)
+			bench.RegisterStoreMetrics(reg, st)
+		}
 		stop := st.StartAutoPrune(*storeMax, time.Minute, log.Printf)
 		defer stop()
 	}
@@ -97,21 +129,30 @@ func main() {
 	if !*quiet {
 		accessLog = logger
 	}
-	// One registry for the whole process: the HTTP layer and (in
-	// coordinator mode) the cluster share a /metrics exposition.
-	reg := obs.NewRegistry()
 	var co *cluster.Coordinator
 	if *coordinator {
+		var jnl *cluster.Journal
+		if *journalPath != "" {
+			if jnl, err = cluster.OpenJournal(*journalPath); err != nil {
+				log.Fatal(err)
+			}
+			defer jnl.Close()
+			log.Printf("sweep journal at %s (%d entries replayed, %d torn/corrupt lines skipped)",
+				jnl.Path(), len(jnl.Replayed()), jnl.Skipped())
+		}
 		co = cluster.New(cluster.Options{
-			Base:        base,
-			Store:       st,
-			Registry:    reg,
-			LeaseTTL:    *leaseTTL,
-			MaxAttempts: *retryBudget,
-			Logger:      logger,
+			Base:            base,
+			Store:           st,
+			Registry:        reg,
+			LeaseTTL:        *leaseTTL,
+			MaxAttempts:     *retryBudget,
+			QuarantineAfter: *quarantine,
+			Journal:         jnl,
+			Logger:          logger,
 		})
 		defer co.Close()
-		log.Printf("coordinator mode: lease-ttl=%s retry-budget=%d", *leaseTTL, *retryBudget)
+		log.Printf("coordinator mode: lease-ttl=%s retry-budget=%d quarantine-after=%d",
+			*leaseTTL, *retryBudget, *quarantine)
 	}
 	srv := serve.New(serve.Options{
 		Base:        base,
@@ -122,6 +163,7 @@ func main() {
 		Registry:    reg,
 		Logger:      accessLog,
 		Coordinator: co,
+		Chaos:       inj,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -66,6 +66,9 @@ func main() {
 		tlWindow = flag.Uint64("timeline-window", 1000, "probe sampling window in cycles for -timeline")
 		auditOn  = flag.Bool("audit", false, "run every simulation under the invariant-audit layer")
 		remote   = flag.String("remote", "", "cluster coordinator base URL; standard cells run on the cluster (empty = all local)")
+
+		brkThresh   = flag.Int("breaker-threshold", 8, "store: consecutive I/O errors before the circuit breaker opens (0 = breaker off)")
+		brkCooldown = flag.Duration("breaker-cooldown", 3*time.Second, "store: how long the breaker stays open before probing the disk again")
 	)
 	flag.Parse()
 
@@ -102,6 +105,14 @@ func main() {
 		st, err := store.Open(*storeDir)
 		if err != nil {
 			fail("%v", err)
+		}
+		// A sick disk must never sink a sweep: past the breaker threshold
+		// the store degrades to compute-only (misses, no persistence) and
+		// the run finishes on the simulator alone — stdout is unchanged
+		// either way because store results are byte-identical to fresh
+		// computation.
+		if *brkThresh > 0 {
+			st.SetBreaker(*brkThresh, *brkCooldown)
 		}
 		r.SetStore(st)
 	}

@@ -25,6 +25,12 @@
 // reports), and /healthz. The same metric snapshot also rides every
 // lease poll and heartbeat, so the coordinator's /metrics re-exports it
 // per worker even when the debug listener is off.
+//
+// Start order does not matter: the worker waits for the coordinator
+// with capped backoff (bounded by -startup-timeout, default forever),
+// so workers may be launched first or survive a coordinator restart.
+// -chaos injects deterministic faults (crashes, partitions, latency)
+// for recovery drills; never set it in production.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"time"
 
 	"cachecraft/internal/bench"
+	"cachecraft/internal/chaos"
 	"cachecraft/internal/cluster"
 	"cachecraft/internal/config"
 	"cachecraft/internal/obs"
@@ -61,6 +68,8 @@ func main() {
 		auditOn     = flag.Bool("audit", false, "run every simulation under the invariant-audit layer")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof, /metrics, and /healthz on this extra address (empty = off)")
 		quiet       = flag.Bool("quiet", false, "suppress per-lease progress logs")
+		startupWait = flag.Duration("startup-timeout", 0, "max time to wait for the coordinator to come up (0 = wait forever)")
+		chaosSpec   = flag.String("chaos", "", "fault-injection spec, e.g. 'seed=7;worker.exec:crash:0.05;worker.complete:partition:0.1' (testing only)")
 	)
 	flag.Parse()
 	log.SetPrefix("cachecraft-worker: ")
@@ -91,6 +100,14 @@ func main() {
 	reg := obs.NewRegistry()
 	bench.RegisterRunnerMetrics(reg, r)
 
+	inj, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inj != nil {
+		log.Printf("CHAOS ENABLED (seed=%d): faults will be injected on purpose", inj.Seed())
+	}
+
 	var logger *slog.Logger
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -103,6 +120,7 @@ func main() {
 		PollMax:     *poll,
 		Registry:    reg,
 		Logger:      logger,
+		Chaos:       inj,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -136,6 +154,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Wait out a coordinator that is not up yet: fleet bring-up has no
+	// ordering constraint, and a worker that outlives a coordinator
+	// restart re-enters the same loop via its lease polls.
+	waitCtx := ctx
+	if *startupWait > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(ctx, *startupWait)
+		defer cancel()
+	}
+	if err := cluster.AwaitCoordinator(waitCtx, cluster.NewClient(*coordinator), log.Printf); err != nil {
+		if errors.Is(err, context.Canceled) {
+			return
+		}
+		log.Fatal(err)
+	}
+
 	log.Printf("%s worker %q polling %s (workers=%d)", version.String(), w.Name(), *coordinator, *jobs)
 	err = w.Run(ctx)
 	switch {

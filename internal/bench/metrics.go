@@ -1,6 +1,9 @@
 package bench
 
-import "cachecraft/internal/obs"
+import (
+	"cachecraft/internal/obs"
+	"cachecraft/internal/store"
+)
 
 // RegisterRunnerMetrics exposes a runner's accounting on reg through
 // sampling collectors (CounterFunc reads Stats at render time, so the
@@ -41,4 +44,18 @@ func RegisterRunnerMetrics(reg *obs.Registry, r *Runner) {
 	reg.CounterFunc("cachecraft_remote_hits_total",
 		"Runner lookups materialized by the remote cluster backend.",
 		stat(func(s Stats) int { return s.RemoteHits }))
+}
+
+// RegisterStoreMetrics exposes a store's circuit-breaker health on reg.
+// The state gauge samples the breaker at render time (0 closed, 1
+// half-open, 2 open), so the exposition and the store's actual behavior
+// cannot drift; every process that mounts a store (serve, worker, sweep
+// coordinator) registers the same families.
+func RegisterStoreMetrics(reg *obs.Registry, st *store.Store) {
+	reg.GaugeFunc("cachecraft_store_breaker_state",
+		"Result-store circuit breaker state: 0 closed (healthy), 1 half-open (probing), 2 open (degraded: recompute-without-persist).",
+		func() float64 { return float64(st.BreakerState()) })
+	reg.CounterFunc("cachecraft_store_breaker_trips_total",
+		"Times the store's circuit breaker tripped closed->open after consecutive disk errors.",
+		st.BreakerTrips)
 }

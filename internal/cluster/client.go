@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -68,9 +69,70 @@ func (c *Client) Ping(ctx context.Context) error {
 	}
 	want := "ok " + version.String()
 	if got := strings.TrimSpace(string(body)); got != want {
-		return fmt.Errorf("cluster: simulator revision mismatch: coordinator says %q, this process is %q", got, want)
+		// Wrap the sentinel so callers (AwaitCoordinator, worker startup)
+		// can tell "retry until it comes up" from "retrying cannot help".
+		return fmt.Errorf("cluster: coordinator says %q, this process is %q: %w", got, want, ErrVersionMismatch)
 	}
 	return nil
+}
+
+// AwaitCoordinator pings the coordinator with capped exponential backoff
+// until it answers healthily, ctx ends, or the coordinator turns out to
+// run a different simulator revision (fatal — waiting cannot fix it).
+// Workers call this at startup so fleet bring-up has no ordering
+// constraint: workers started before the coordinator simply wait for it,
+// exactly as they would ride out a mid-run coordinator restart. logf
+// (optional) receives one line per failed attempt.
+func AwaitCoordinator(ctx context.Context, c *Client, logf func(format string, args ...any)) error {
+	backoff := 250 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		pingCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		err := c.Ping(pingCtx)
+		cancel()
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrVersionMismatch):
+			return err
+		case ctx.Err() != nil:
+			return fmt.Errorf("cluster: waiting for coordinator: %w", ctx.Err())
+		}
+		if logf != nil {
+			logf("coordinator not ready (attempt %d): %v; retrying in %s", attempt, err, backoff)
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("cluster: waiting for coordinator: %w", ctx.Err())
+		case <-t.C:
+		}
+		backoff = bump(backoff, 5*time.Second)
+	}
+}
+
+// Status fetches the coordinator's point-in-time cluster status: queue
+// depth, worker fleet health, journal-replay count, and quarantined
+// cells. cachecraft-report's -cluster mode renders this.
+func (c *Client) Status(ctx context.Context) (StatusResponse, error) {
+	var st StatusResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cluster/status", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return st, fmt.Errorf("cluster: status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return st, fmt.Errorf("cluster: status: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("cluster: status: %w", err)
+	}
+	return st, nil
 }
 
 // Run implements bench.Remote: it submits a single-cell sweep and decodes

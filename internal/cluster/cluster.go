@@ -170,15 +170,32 @@ type WorkerStatus struct {
 	CellsPerSec    float64 `json:"cells_per_sec"`
 }
 
+// QuarantinedCell is one poison cell's row in a status response: the
+// cell's identity, its stable terminal error, and the failure history
+// ("worker: cause" lines, oldest first) that condemned it.
+type QuarantinedCell struct {
+	Fingerprint string   `json:"fingerprint"`
+	Workload    string   `json:"workload"`
+	Scheme      string   `json:"scheme"`
+	Error       string   `json:"error"`
+	History     []string `json:"history,omitempty"`
+}
+
 // StatusResponse is the body of GET /v1/cluster/status: a point-in-time
 // picture of queue depth and worker fleet health. Workers are sorted by
-// name for stable output.
+// name and quarantined cells by workload/scheme/fingerprint for stable
+// output.
 type StatusResponse struct {
-	UptimeMs     int64          `json:"uptime_ms"`
-	PendingCells int            `json:"pending_cells"`
-	LeasedCells  int            `json:"leased_cells"`
-	DoneCells    int            `json:"done_cells"`
-	FailedCells  int            `json:"failed_cells"`
-	ActiveLeases int            `json:"active_leases"`
-	Workers      []WorkerStatus `json:"workers"`
+	UptimeMs         int64 `json:"uptime_ms"`
+	PendingCells     int   `json:"pending_cells"`
+	LeasedCells      int   `json:"leased_cells"`
+	DoneCells        int   `json:"done_cells"`
+	FailedCells      int   `json:"failed_cells"`
+	QuarantinedCells int   `json:"quarantined_cells"`
+	ActiveLeases     int   `json:"active_leases"`
+	// JournalReplayedCells counts cells this coordinator restored from
+	// its sweep journal at startup (0 without a journal).
+	JournalReplayedCells uint64            `json:"journal_replayed_cells"`
+	Workers              []WorkerStatus    `json:"workers"`
+	Quarantined          []QuarantinedCell `json:"quarantined,omitempty"`
 }

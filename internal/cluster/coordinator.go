@@ -49,6 +49,18 @@ type Options struct {
 	// handed a copy of a cell another worker is still running — first
 	// result wins, which fingerprints make safe.
 	DisableSpeculation bool
+	// Journal is the crash-recovery log (optional). Terminal cell
+	// outcomes are appended and fsynced — successes before they are
+	// published to waiting clients — and New merges whatever a previous
+	// process journaled, so a restarted coordinator resumes a sweep
+	// with zero recomputation of finished cells.
+	Journal *Journal
+	// QuarantineAfter is how many consecutive crash-like failures
+	// (lease expiries, not worker-reported errors) across at least two
+	// distinct workers mark a cell as poison and quarantine it
+	// (default 3). Quarantine is terminal: the cell stops consuming
+	// workers and reports a stable error instead of blocking the sweep.
+	QuarantineAfter int
 	// Logger reports persist failures and lease churn (nil = silent).
 	Logger *slog.Logger
 }
@@ -59,15 +71,38 @@ type Options struct {
 // error published via doneCh). All fields are guarded by Coordinator.mu
 // until doneCh closes, after which the outcome fields are immutable.
 type cellState struct {
-	cell      Cell
-	attempts  int               // dispatch attempts consumed by failure/expiry
-	notBefore time.Time         // pending cells wait out their backoff here
-	leases    map[string]string // lease id → worker currently holding the cell
-	done      bool
-	body      []byte // canonical record bytes (success)
-	sum       string
-	errMsg    string // terminal failure (attempts exhausted)
-	doneCh    chan struct{}
+	cell        Cell
+	attempts    int               // dispatch attempts consumed by failure/expiry
+	notBefore   time.Time         // pending cells wait out their backoff here
+	leases      map[string]string // lease id → worker currently holding the cell
+	history     []failEvent       // every failed attempt, oldest first
+	done        bool
+	quarantined bool   // terminal via the poison-cell rule
+	body        []byte // canonical record bytes (success)
+	sum         string
+	errMsg      string // terminal failure (attempts exhausted or quarantine)
+	doneCh      chan struct{}
+}
+
+// failEvent is one failed dispatch in a cell's history. crashLike marks
+// lease expiries — the worker vanished rather than reporting an error —
+// which is the signature the poison-cell rule looks for: a cell that
+// repeatedly kills whatever worker touches it.
+type failEvent struct {
+	worker    string
+	crashLike bool
+	line      string // "worker: cause", as shown in status and the journal
+}
+
+func (cs *cellState) historyLines() []string {
+	if len(cs.history) == 0 {
+		return nil
+	}
+	out := make([]string, len(cs.history))
+	for i, ev := range cs.history {
+		out[i] = ev.line
+	}
+	return out
 }
 
 // lease is one worker's claim on a batch of cells.
@@ -91,12 +126,15 @@ type workerInfo struct {
 }
 
 // Outcome is what a waiting client receives for one cell: the canonical
-// record bytes, or a terminal error message.
+// record bytes, or a terminal error message. Quarantined marks error
+// outcomes produced by the poison-cell rule rather than an exhausted
+// retry budget.
 type Outcome struct {
-	Cell Cell
-	Body []byte
-	Sum  string
-	Err  string
+	Cell        Cell
+	Body        []byte
+	Sum         string
+	Err         string
+	Quarantined bool
 }
 
 // Coordinator owns the cluster's cell queue, leases, and results. Create
@@ -107,11 +145,13 @@ type Coordinator struct {
 
 	start time.Time // coordinator birth, for status uptime
 
-	mu      sync.Mutex
-	cells   map[string]*cellState
-	queue   []string // pending fingerprints in arrival order
-	leases  map[string]*lease
-	workers map[string]*workerInfo // every worker ever heard from
+	mu       sync.Mutex
+	cells    map[string]*cellState
+	queue    []string // pending fingerprints in arrival order
+	leases   map[string]*lease
+	workers  map[string]*workerInfo // every worker ever heard from
+	pendingJ []JournalEntry         // failure/quarantine entries awaiting append
+	replayed uint64                 // cells restored from the journal at startup
 
 	closed     chan struct{}
 	closeOnce  sync.Once
@@ -132,6 +172,9 @@ func New(opt Options) *Coordinator {
 	if opt.BackoffCap <= 0 {
 		opt.BackoffCap = 5 * time.Second
 	}
+	if opt.QuarantineAfter <= 0 {
+		opt.QuarantineAfter = 3
+	}
 	if opt.Registry == nil {
 		opt.Registry = obs.NewRegistry()
 	}
@@ -145,16 +188,94 @@ func New(opt Options) *Coordinator {
 		reaperDone: make(chan struct{}),
 	}
 	c.m = newMetrics(opt.Registry, c)
+	c.replay()
 	go c.reaper()
 	return c
 }
 
+// replay merges journal entries from a previous coordinator process:
+// each intact terminal outcome becomes a pre-completed cell, so a
+// resumed sweep re-submitting the same grid joins finished cells
+// instantly and only dispatches what the crash actually interrupted.
+// Entries from a different simulator revision are fenced out (their
+// fingerprints can no longer be asked for), and the first entry per
+// fingerprint wins, mirroring the live first-result-wins rule.
+func (c *Coordinator) replay() {
+	if c.opt.Journal == nil {
+		return
+	}
+	for _, e := range c.opt.Journal.Replayed() {
+		if e.Sim != version.String() || e.Fingerprint == "" {
+			continue
+		}
+		if _, ok := c.cells[e.Fingerprint]; ok {
+			continue
+		}
+		cs := &cellState{
+			cell:   Cell{Fingerprint: e.Fingerprint, Workload: e.Workload, Scheme: e.Scheme},
+			done:   true,
+			doneCh: make(chan struct{}),
+		}
+		switch e.Op {
+		case JournalDone:
+			if e.Sum == "" || len(e.Body) == 0 {
+				continue
+			}
+			cs.body, cs.sum = e.Body, e.Sum
+		case JournalFailed:
+			cs.errMsg = e.Error
+		case JournalQuarantined:
+			cs.errMsg = e.Error
+			cs.quarantined = true
+			for _, line := range e.History {
+				cs.history = append(cs.history, failEvent{line: line})
+			}
+		default:
+			continue
+		}
+		close(cs.doneCh)
+		c.cells[e.Fingerprint] = cs
+		c.replayed++
+		c.m.journalReplayed.Inc()
+	}
+	if skipped := c.opt.Journal.Skipped(); skipped > 0 {
+		c.logf("journal %s: dropped %d torn or corrupt trailing lines (their cells will recompute)",
+			c.opt.Journal.Path(), skipped)
+	}
+	if c.replayed > 0 {
+		c.logf("journal %s: restored %d completed cells", c.opt.Journal.Path(), c.replayed)
+	}
+}
+
+// flushJournal appends queued failure/quarantine entries outside the
+// lock. Terminal failures are journaled after publication (unlike
+// successes, which are journaled before): losing one to a crash only
+// means the cell recomputes on resume, and the deterministic simulator
+// makes the recomputed outcome equivalent.
+func (c *Coordinator) flushJournal() {
+	if c.opt.Journal == nil {
+		return
+	}
+	c.mu.Lock()
+	batch := c.pendingJ
+	c.pendingJ = nil
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if err := c.opt.Journal.Append(batch...); err != nil {
+		c.logf("journal append: %v", err)
+	}
+}
+
 // Close shuts the coordinator down: the reaper stops and every waiting
 // client unblocks with ErrClosed. Cells and results already published
-// remain readable.
+// remain readable, and any journal entries still queued are flushed so
+// a clean shutdown loses nothing.
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() { close(c.closed) })
 	<-c.reaperDone
+	c.flushJournal()
 }
 
 // reaper expires leases even when no worker is polling (all workers
@@ -181,6 +302,7 @@ func (c *Coordinator) reaper() {
 			c.mu.Lock()
 			c.reapLocked(time.Now())
 			c.mu.Unlock()
+			c.flushJournal()
 		}
 	}
 }
@@ -246,7 +368,7 @@ func (c *Coordinator) Wait(ctx context.Context, fp string) (Outcome, error) {
 		return Outcome{}, ErrClosed
 	}
 	// Outcome fields are immutable once doneCh is closed.
-	return Outcome{Cell: cs.cell, Body: cs.body, Sum: cs.sum, Err: cs.errMsg}, nil
+	return Outcome{Cell: cs.cell, Body: cs.body, Sum: cs.sum, Err: cs.errMsg, Quarantined: cs.quarantined}, nil
 }
 
 // Lease hands out up to max pending cells to the named worker, or — with
@@ -254,6 +376,14 @@ func (c *Coordinator) Wait(ctx context.Context, fp string) (Outcome, error) {
 // still holding (straggler defense; first result wins). It returns nil
 // when there is nothing to hand out.
 func (c *Coordinator) Lease(worker string, max int) *LeaseGrant {
+	grant := c.grantLease(worker, max)
+	// Lazy reaping above may have terminally failed or quarantined
+	// cells; make those outcomes durable before the next poll.
+	c.flushJournal()
+	return grant
+}
+
+func (c *Coordinator) grantLease(worker string, max int) *LeaseGrant {
 	if max < 1 {
 		max = 1
 	}
@@ -336,6 +466,12 @@ func holderOf(cs *cellState) string {
 // has already expired or been released — the worker should stop
 // heartbeating and simply finish its cells (results are still accepted).
 func (c *Coordinator) Heartbeat(leaseID string) bool {
+	ok := c.renewLease(leaseID)
+	c.flushJournal()
+	return ok
+}
+
+func (c *Coordinator) renewLease(leaseID string) bool {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -355,16 +491,29 @@ func (c *Coordinator) Heartbeat(leaseID string) bool {
 // work); failures only count against leases that still hold the cell, so
 // an expiry the reaper already charged cannot double-bill the retry
 // budget.
+//
+// Write-ahead ordering: with a journal configured, successful records
+// are validated under the lock, journaled and fsynced outside it, and
+// only then published to waiting clients — a coordinator that crashes
+// after a client saw a result is guaranteed to replay that exact result
+// on restart, which is what makes a resumed sweep's stdout
+// byte-identical.
 func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	now := time.Now()
+	type candidate struct {
+		cs   *cellState
+		rec  store.Record
+		body []byte
+		sum  string
+	}
 	var (
-		resp CompleteResponse
-		puts []store.Record
+		resp  CompleteResponse
+		puts  []store.Record
+		cands []candidate
 	)
 	c.mu.Lock()
 	c.reapLocked(now)
 	c.touchWorkerLocked(req.Worker, now)
-	l := c.leases[req.LeaseID]
 	for _, res := range req.Results {
 		switch {
 		case res.Record != nil:
@@ -380,14 +529,7 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 				resp.Ignored++
 				continue
 			}
-			c.finishLocked(cs, body, sum, "", req.Worker)
-			if l != nil {
-				c.m.leaseSeconds.Observe(now.Sub(l.granted).Seconds())
-			}
-			if c.opt.Store != nil {
-				puts = append(puts, rec)
-			}
-			resp.Accepted++
+			cands = append(cands, candidate{cs: cs, rec: rec, body: body, sum: sum})
 		case res.Fingerprint != "":
 			cs := c.cells[res.Fingerprint]
 			if cs == nil || cs.done {
@@ -398,16 +540,59 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 				resp.Ignored++ // lease expired; the reaper already charged this attempt
 				continue
 			}
-			c.failAttemptLocked(cs, req.LeaseID, res.Error, now)
+			c.failAttemptLocked(cs, req.LeaseID, req.Worker, res.Error, false, now)
 			resp.Accepted++
 		default:
 			resp.Ignored++
 		}
 	}
+	c.mu.Unlock()
+
+	// WAL: fsync successes into the journal before publishing them.
+	if c.opt.Journal != nil && len(cands) > 0 {
+		entries := make([]JournalEntry, 0, len(cands))
+		for _, cand := range cands {
+			entries = append(entries, JournalEntry{
+				Op:          JournalDone,
+				Fingerprint: cand.rec.Fingerprint,
+				Workload:    cand.rec.Workload,
+				Scheme:      cand.rec.Scheme,
+				Sim:         cand.rec.Sim,
+				Sum:         cand.sum,
+				Body:        cand.body,
+			})
+		}
+		if err := c.opt.Journal.Append(entries...); err != nil {
+			// Degrade rather than refuse the results: a lost journal
+			// entry costs a recompute after a crash, never a wrong
+			// answer, while rejecting finished work costs it now.
+			c.logf("journal append: %v", err)
+		}
+	}
+
+	c.mu.Lock()
+	// The lease may have been reaped while the journal synced; re-fetch
+	// so release bookkeeping cannot double-count.
+	l := c.leases[req.LeaseID]
+	for _, cand := range cands {
+		if cand.cs.done {
+			resp.Ignored++ // lost the first-result race during the fsync
+			continue
+		}
+		c.finishLocked(cand.cs, cand.body, cand.sum, "", req.Worker)
+		if l != nil {
+			c.m.leaseSeconds.Observe(now.Sub(l.granted).Seconds())
+		}
+		if c.opt.Store != nil {
+			puts = append(puts, cand.rec)
+		}
+		resp.Accepted++
+	}
 	if l != nil {
 		c.maybeReleaseLocked(l)
 	}
 	c.mu.Unlock()
+	c.flushJournal()
 	// Persist outside the lock: Put does disk I/O, and a full disk must
 	// not stall the control plane — a failed persist only costs a future
 	// re-run.
@@ -420,11 +605,15 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 }
 
 // finishLocked publishes a cell's terminal outcome (result or error).
+// Error outcomes are queued for the journal here (drained by
+// flushJournal once the lock is released); success outcomes were
+// already journaled by Complete before this call.
 func (c *Coordinator) finishLocked(cs *cellState, body []byte, sum, errMsg, worker string) {
 	cs.done = true
 	cs.body, cs.sum, cs.errMsg = body, sum, errMsg
 	cs.leases = nil
-	if errMsg == "" {
+	switch {
+	case errMsg == "":
 		label := worker
 		if label == "" {
 			label = "unknown"
@@ -433,8 +622,25 @@ func (c *Coordinator) finishLocked(cs *cellState, body []byte, sum, errMsg, work
 		if worker != "" {
 			c.touchWorkerLocked(worker, time.Now()).completed++
 		}
-	} else {
+	case cs.quarantined:
+		c.m.quarantined.Inc()
+	default:
 		c.m.failed.Inc()
+	}
+	if errMsg != "" && c.opt.Journal != nil {
+		e := JournalEntry{
+			Op:          JournalFailed,
+			Fingerprint: cs.cell.Fingerprint,
+			Workload:    cs.cell.Workload,
+			Scheme:      cs.cell.Scheme,
+			Sim:         version.String(),
+			Error:       errMsg,
+		}
+		if cs.quarantined {
+			e.Op = JournalQuarantined
+			e.History = cs.historyLines()
+		}
+		c.pendingJ = append(c.pendingJ, e)
 	}
 	close(cs.doneCh)
 }
@@ -512,19 +718,36 @@ func validMetricName(s string) bool {
 // past one TTL its leases are already being reaped, and past three it is
 // presumed gone rather than merely slow.
 func (c *Coordinator) Status() StatusResponse {
+	resp := c.status()
+	c.flushJournal()
+	return resp
+}
+
+func (c *Coordinator) status() StatusResponse {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reapLocked(now)
 
 	resp := StatusResponse{
-		UptimeMs: now.Sub(c.start).Milliseconds(),
-		Workers:  []WorkerStatus{},
+		UptimeMs:             now.Sub(c.start).Milliseconds(),
+		JournalReplayedCells: c.replayed,
+		Workers:              []WorkerStatus{},
+		Quarantined:          []QuarantinedCell{},
 	}
 	for _, cs := range c.cells {
 		switch {
 		case cs.done && cs.errMsg == "":
 			resp.DoneCells++
+		case cs.done && cs.quarantined:
+			resp.QuarantinedCells++
+			resp.Quarantined = append(resp.Quarantined, QuarantinedCell{
+				Fingerprint: cs.cell.Fingerprint,
+				Workload:    cs.cell.Workload,
+				Scheme:      cs.cell.Scheme,
+				Error:       cs.errMsg,
+				History:     cs.historyLines(),
+			})
 		case cs.done:
 			resp.FailedCells++
 		case len(cs.leases) > 0:
@@ -533,6 +756,16 @@ func (c *Coordinator) Status() StatusResponse {
 			resp.PendingCells++
 		}
 	}
+	sort.Slice(resp.Quarantined, func(i, j int) bool {
+		a, b := resp.Quarantined[i], resp.Quarantined[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return a.Fingerprint < b.Fingerprint
+	})
 	resp.ActiveLeases = len(c.leases)
 
 	type leaseAgg struct {
@@ -574,18 +807,37 @@ func (c *Coordinator) Status() StatusResponse {
 
 // failAttemptLocked charges one failed dispatch (worker-reported error or
 // lease expiry) against a cell and decides its future: keep waiting on a
-// surviving speculative holder, re-queue with backoff, or fail
-// terminally once the budget is gone.
-func (c *Coordinator) failAttemptLocked(cs *cellState, leaseID, cause string, now time.Time) {
+// surviving speculative holder, quarantine a suspected poison cell,
+// re-queue with backoff, or fail terminally once the budget is gone.
+// crashLike marks lease expiries — the worker vanished instead of
+// reporting an error — which is the only failure shape the quarantine
+// rule counts.
+func (c *Coordinator) failAttemptLocked(cs *cellState, leaseID, worker, cause string, crashLike bool, now time.Time) {
 	delete(cs.leases, leaseID)
 	cs.attempts++
+	if cause == "" {
+		cause = "unspecified worker failure"
+	}
+	if worker == "" {
+		worker = "unknown"
+	}
+	cs.history = append(cs.history, failEvent{
+		worker:    worker,
+		crashLike: crashLike,
+		line:      worker + ": " + cause,
+	})
 	if len(cs.leases) > 0 {
 		return // a speculative duplicate is still running; let it race
 	}
+	if streak, workers := c.poisonStreakLocked(cs); streak >= c.opt.QuarantineAfter && workers >= 2 {
+		cs.quarantined = true
+		c.logf("cell %s quarantined after %d crash-like failures across %d workers",
+			cs.cell.Fingerprint, streak, workers)
+		c.finishLocked(cs, nil, "",
+			fmt.Sprintf("cluster: cell quarantined after %d consecutive crash-like failures (suspected poison cell)", streak), "")
+		return
+	}
 	if cs.attempts >= c.opt.MaxAttempts {
-		if cause == "" {
-			cause = "unspecified worker failure"
-		}
 		c.finishLocked(cs, nil, "",
 			fmt.Sprintf("cluster: cell failed after %d attempts: %s", cs.attempts, cause), "")
 		return
@@ -593,6 +845,26 @@ func (c *Coordinator) failAttemptLocked(cs *cellState, leaseID, cause string, no
 	cs.notBefore = now.Add(c.backoff(cs.attempts))
 	c.queue = append(c.queue, cs.cell.Fingerprint)
 	c.m.retried.Inc()
+}
+
+// poisonStreakLocked measures the cell's trailing run of crash-like
+// failures: its length and how many distinct workers it spans. A streak
+// that long across two or more workers is the poison-cell signature —
+// the cell, not any particular worker or host, is what keeps dying. The
+// two-worker floor keeps one flapping host from condemning a healthy
+// cell; on a single-worker fleet the retry budget (MaxAttempts) remains
+// the backstop.
+func (c *Coordinator) poisonStreakLocked(cs *cellState) (streak, workers int) {
+	seen := make(map[string]bool)
+	for i := len(cs.history) - 1; i >= 0; i-- {
+		ev := cs.history[i]
+		if !ev.crashLike {
+			break
+		}
+		streak++
+		seen[ev.worker] = true
+	}
+	return streak, len(seen)
 }
 
 // backoff is capped exponential: base, 2·base, 4·base, ... up to cap.
@@ -638,7 +910,7 @@ func (c *Coordinator) reapLocked(now time.Time) {
 				continue
 			}
 			if _, held := cs.leases[id]; held {
-				c.failAttemptLocked(cs, id, "lease expired (worker lost or stalled)", now)
+				c.failAttemptLocked(cs, id, l.worker, "lease expired (worker lost or stalled)", true, now)
 			}
 		}
 		delete(c.leases, id)

@@ -41,11 +41,14 @@ type streamError struct {
 
 // streamTrailer is the completion trailer, identical to /v1/sweep's: its
 // presence is the completeness signal, its absence marks a truncated
-// stream.
+// stream. Quarantined (a subset of Errors) counts cells the poison-cell
+// rule condemned; it is omitted when zero so local and cluster trailers
+// stay byte-compatible on healthy sweeps.
 type streamTrailer struct {
-	Done   bool `json:"done"`
-	Cells  int  `json:"cells"`
-	Errors int  `json:"errors"`
+	Done        bool `json:"done"`
+	Cells       int  `json:"cells"`
+	Errors      int  `json:"errors"`
+	Quarantined int  `json:"quarantined,omitempty"`
 }
 
 // handleSweep expands a grid into cells, submits them to the cluster, and
@@ -120,7 +123,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		close(outcomes)
 	}()
 
-	streamed, failed := 0, 0
+	streamed, failed, quarantined := 0, 0, 0
 	for out := range outcomes {
 		if ctx.Err() != nil {
 			break
@@ -129,6 +132,9 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		var line []byte
 		if out.Err != "" {
 			failed++
+			if out.Quarantined {
+				quarantined++
+			}
 			c.m.streamErrors.Inc()
 			line, _ = json.Marshal(streamError{Workload: out.Cell.Workload, Scheme: out.Cell.Scheme, Error: out.Err})
 		} else {
@@ -141,7 +147,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if ctx.Err() == nil && streamed == len(cells) {
-		line, _ := json.Marshal(streamTrailer{Done: true, Cells: streamed, Errors: failed})
+		line, _ := json.Marshal(streamTrailer{Done: true, Cells: streamed, Errors: failed, Quarantined: quarantined})
 		w.Write(line)
 		w.Write([]byte("\n"))
 		if flusher != nil {

@@ -14,17 +14,19 @@ import "cachecraft/internal/obs"
 // cell failures on one metric, and a cell that fails on one worker but
 // succeeds on a retry contributes nothing.
 type metrics struct {
-	queued       *obs.Counter    // cells entered into the pending queue
-	leased       *obs.Counter    // cells handed out in leases (incl. redispatch)
-	redispatched *obs.Counter    // speculative straggler duplicates handed out
-	retried      *obs.Counter    // cells re-queued after failure or expiry
-	expired      *obs.Counter    // leases reaped past their deadline
-	failed       *obs.Counter    // cells terminally failed (budget exhausted)
-	storeSkips   *obs.Counter    // submitted cells answered from the store
-	completed    *obs.CounterVec // cells completed, by worker
-	workerLeases *obs.GaugeVec   // live leases, by worker
-	leaseSeconds *obs.Histogram  // lease grant → first accepted result
-	streamErrors *obs.Counter    // shared with serve: terminal error lines streamed
+	queued          *obs.Counter    // cells entered into the pending queue
+	leased          *obs.Counter    // cells handed out in leases (incl. redispatch)
+	redispatched    *obs.Counter    // speculative straggler duplicates handed out
+	retried         *obs.Counter    // cells re-queued after failure or expiry
+	expired         *obs.Counter    // leases reaped past their deadline
+	failed          *obs.Counter    // cells terminally failed (budget exhausted)
+	storeSkips      *obs.Counter    // submitted cells answered from the store
+	quarantined     *obs.Counter    // cells condemned by the poison-cell rule
+	journalReplayed *obs.Counter    // cells restored from the journal at startup
+	completed       *obs.CounterVec // cells completed, by worker
+	workerLeases    *obs.GaugeVec   // live leases, by worker
+	leaseSeconds    *obs.Histogram  // lease grant → first accepted result
+	streamErrors    *obs.Counter    // shared with serve: terminal error lines streamed
 }
 
 func newMetrics(reg *obs.Registry, c *Coordinator) *metrics {
@@ -43,6 +45,10 @@ func newMetrics(reg *obs.Registry, c *Coordinator) *metrics {
 		"Cells that exhausted their retry budget and failed terminally.")
 	m.storeSkips = reg.Counter("cachecraft_cluster_store_skips_total",
 		"Submitted cells answered directly from the persistent store without dispatch.")
+	m.quarantined = reg.Counter("cachecraft_cells_quarantined_total",
+		"Cells quarantined as poison after consecutive crash-like failures across distinct workers.")
+	m.journalReplayed = reg.Counter("cachecraft_journal_replayed_cells_total",
+		"Completed cells restored from the sweep journal when this coordinator started.")
 	m.completed = reg.CounterVec("cachecraft_cluster_cells_completed_total",
 		"Cells completed successfully, by the worker whose result was accepted.", "worker")
 	m.workerLeases = reg.GaugeVec("cachecraft_cluster_worker_active_leases",

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cachecraft/internal/bench"
+	"cachecraft/internal/chaos"
 	"cachecraft/internal/obs"
 	"cachecraft/internal/store"
 	"cachecraft/internal/version"
@@ -49,6 +50,13 @@ type WorkerOptions struct {
 	// under per-worker-labelled families on its own /metrics. Optional:
 	// without it the worker reports liveness only.
 	Registry *obs.Registry
+	// Chaos injects faults into the worker's RPC paths (lease,
+	// heartbeat, complete — errors and partitions look like connection
+	// failures, latency delays the call) and into cell execution
+	// (SiteWorkerExec: an injected error fails the cell, an injected
+	// crash abandons the whole lease as a killed process would). Nil is
+	// chaos off at zero cost.
+	Chaos *chaos.Injector
 	// Logger reports lease churn and push failures (nil = silent).
 	Logger *slog.Logger
 }
@@ -147,17 +155,20 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 
 // process runs every cell of one lease through the local runner,
 // heartbeating in the background and pushing each result the moment it
-// is ready (batching whatever finished in the meantime).
+// is ready (batching whatever finished in the meantime). Everything
+// under the lease shares leaseCtx, so a chaos-injected crash cancels
+// the whole claim at once — heartbeats stop, sims abort, pushes cease —
+// and the coordinator sees exactly what a kill -9 would leave behind.
 func (w *Worker) process(ctx context.Context, grant *LeaseGrant) {
-	hbCtx, stopHB := context.WithCancel(ctx)
+	leaseCtx, cancelLease := context.WithCancel(ctx)
 	var hbWG sync.WaitGroup
 	hbWG.Add(1)
 	go func() {
 		defer hbWG.Done()
-		w.heartbeat(hbCtx, grant)
+		w.heartbeat(leaseCtx, grant)
 	}()
 	defer func() {
-		stopHB()
+		cancelLease()
 		hbWG.Wait()
 	}()
 
@@ -167,10 +178,15 @@ func (w *Worker) process(ctx context.Context, grant *LeaseGrant) {
 		wg.Add(1)
 		go func(cell Cell) {
 			defer wg.Done()
-			res := w.runCell(ctx, cell)
+			res, crashed := w.runCell(leaseCtx, cell)
+			if crashed {
+				w.logf("chaos: injected crash on %s; abandoning lease %s", cell.Fingerprint, grant.LeaseID)
+				cancelLease()
+				return
+			}
 			select {
 			case results <- res:
-			case <-ctx.Done():
+			case <-leaseCtx.Done():
 			}
 		}(cell)
 	}
@@ -192,42 +208,58 @@ func (w *Worker) process(ctx context.Context, grant *LeaseGrant) {
 				break drain
 			}
 		}
-		w.complete(ctx, grant, batch)
+		if leaseCtx.Err() != nil {
+			return // crashed mid-lease; nothing more gets pushed
+		}
+		w.complete(leaseCtx, grant, batch)
 	}
 }
 
 // runCell executes one leased cell. The cell's fingerprint doubles as its
 // runner config id, so identical cells re-leased later hit the memo (or
-// the worker's local store) instead of re-simulating.
-func (w *Worker) runCell(ctx context.Context, cell Cell) CellResult {
+// the worker's local store) instead of re-simulating. crashed reports a
+// chaos-injected worker crash: the caller abandons the entire lease.
+func (w *Worker) runCell(ctx context.Context, cell Cell) (res CellResult, crashed bool) {
+	if d := w.opt.Chaos.Fault(chaos.SiteWorkerExec, cell.Fingerprint); d.Crash {
+		return CellResult{}, true
+	} else if d.Err != nil {
+		d.Sleep()
+		return CellResult{Fingerprint: cell.Fingerprint, Error: d.Err.Error()}, false
+	} else {
+		d.Sleep()
+	}
 	w.opt.Runner.AddConfig(cell.Fingerprint, cell.Config)
-	res, err := w.opt.Runner.ResultCtx(ctx, bench.Spec{
+	out, err := w.opt.Runner.ResultCtx(ctx, bench.Spec{
 		CfgID:    cell.Fingerprint,
 		Workload: cell.Workload,
 		Variant:  cell.Scheme,
 	})
 	if err != nil {
-		return CellResult{Fingerprint: cell.Fingerprint, Error: err.Error()}
+		return CellResult{Fingerprint: cell.Fingerprint, Error: err.Error()}, false
 	}
 	return CellResult{Record: &store.Record{
 		Fingerprint: cell.Fingerprint,
 		Sim:         version.String(),
 		Workload:    cell.Workload,
 		Scheme:      cell.Scheme,
-		Result:      res,
-	}}
+		Result:      out,
+	}}, false
 }
 
 // heartbeat renews the lease every TTL/3 until the lease's work is done
 // or the coordinator reports the lease gone (410) — after which the
 // worker keeps computing quietly: results are accepted first-wins even
-// without a live lease.
+// without a live lease. Each renewal gets a timeout derived from the
+// lease TTL: a renewal still in flight when half the TTL is gone has
+// already lost its purpose, and an unbounded hang here would silently
+// stop the renewals that keep the lease alive.
 func (w *Worker) heartbeat(ctx context.Context, grant *LeaseGrant) {
 	ttl := time.Duration(grant.TTLMs) * time.Millisecond
 	every := ttl / 3
 	if every < 10*time.Millisecond {
 		every = 10 * time.Millisecond
 	}
+	budget := rpcBudget(ttl/2, time.Second)
 	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
@@ -236,11 +268,13 @@ func (w *Worker) heartbeat(ctx context.Context, grant *LeaseGrant) {
 			return
 		case <-tick.C:
 		}
-		code, _, err := w.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{
+		hbCtx, cancel := context.WithTimeout(ctx, budget)
+		code, _, err := w.post(hbCtx, "/v1/cluster/heartbeat", HeartbeatRequest{
 			LeaseID: grant.LeaseID,
 			Worker:  w.opt.Name,
 			Metrics: w.snapshot(),
 		}, nil)
+		cancel()
 		switch {
 		case ctx.Err() != nil:
 			return
@@ -251,6 +285,16 @@ func (w *Worker) heartbeat(ctx context.Context, grant *LeaseGrant) {
 			return
 		}
 	}
+}
+
+// rpcBudget is a lease-TTL-derived per-call timeout with a floor: the
+// TTL scales the budget on real deployments while the floor keeps tiny
+// test TTLs from making every call time out.
+func rpcBudget(fromTTL, floor time.Duration) time.Duration {
+	if fromTTL < floor {
+		return floor
+	}
+	return fromTTL
 }
 
 // lease polls for work: (grant, 0, nil) on success, (nil, hint, nil) when
@@ -283,12 +327,16 @@ func (w *Worker) lease(ctx context.Context) (*LeaseGrant, time.Duration, error) 
 // complete pushes a batch of results, retrying transient failures. A push
 // that ultimately fails is only logged: the lease will expire and the
 // coordinator re-dispatches, so results are never silently lost — just
-// recomputed.
+// recomputed. Each attempt is bounded by a TTL-derived timeout so a
+// push into a hung socket cannot outlive the lease it reports under.
 func (w *Worker) complete(ctx context.Context, grant *LeaseGrant, batch []CellResult) {
 	req := CompleteRequest{LeaseID: grant.LeaseID, Worker: w.opt.Name, Results: batch}
+	budget := rpcBudget(time.Duration(grant.TTLMs)*time.Millisecond, 2*time.Second)
 	backoff := 100 * time.Millisecond
 	for attempt := 0; attempt < 4; attempt++ {
-		code, hdr, err := w.post(ctx, "/v1/cluster/complete", req, nil)
+		pushCtx, cancel := context.WithTimeout(ctx, budget)
+		code, hdr, err := w.post(pushCtx, "/v1/cluster/complete", req, nil)
+		cancel()
 		switch {
 		case ctx.Err() != nil:
 			return
@@ -312,9 +360,25 @@ func (w *Worker) complete(ctx context.Context, grant *LeaseGrant, batch []CellRe
 	w.logf("dropping %d results after repeated push failures (lease expiry will re-dispatch)", len(batch))
 }
 
+// rpcSites maps RPC paths to their chaos sites, so a fault schedule can
+// target (say) heartbeats without touching result pushes.
+var rpcSites = map[string]chaos.Site{
+	"/v1/cluster/lease":     chaos.SiteWorkerLease,
+	"/v1/cluster/heartbeat": chaos.SiteWorkerHeartbeat,
+	"/v1/cluster/complete":  chaos.SiteWorkerComplete,
+}
+
 // post sends one JSON request and decodes a JSON body into out (when out
-// is non-nil and the status is 200).
+// is non-nil and the status is 200). Chaos faults fire before the wire:
+// an injected error or partition is indistinguishable from a connection
+// failure, injected latency stalls the call inside whatever context
+// budget the caller imposed.
 func (w *Worker) post(ctx context.Context, path string, body, out any) (int, http.Header, error) {
+	if site, ok := rpcSites[path]; ok {
+		if err := w.opt.Chaos.Inject(site, w.opt.Name); err != nil {
+			return 0, nil, fmt.Errorf("cluster: %s: %w", path, err)
+		}
+	}
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return 0, nil, err

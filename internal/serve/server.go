@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"cachecraft/internal/bench"
+	"cachecraft/internal/chaos"
 	"cachecraft/internal/cluster"
 	"cachecraft/internal/config"
 	"cachecraft/internal/obs"
@@ -77,6 +78,13 @@ type Options struct {
 	// simulate, and a saturated simulation tier must never stop workers
 	// from returning finished results.
 	Coordinator *cluster.Coordinator
+	// Chaos, when set, injects faults at the serve.request site before a
+	// request reaches the mux: an error fault becomes a 503, a crash
+	// fault aborts the connection mid-response (http.ErrAbortHandler),
+	// and latency faults simply delay — the shapes a flaky front-end
+	// actually produces. Rules can target one endpoint via Match (the
+	// injection key is the request path). Nil means zero overhead.
+	Chaos *chaos.Injector
 }
 
 // Server is the HTTP layer. Create with New, mount via Handler.
@@ -89,6 +97,7 @@ type Server struct {
 	m      *metrics
 	log    *slog.Logger
 	tracer *obs.Tracer
+	inj    *chaos.Injector
 }
 
 // New builds a server. The runner's worker pool (bench.Runner.SetWorkers)
@@ -123,6 +132,7 @@ func New(opt Options) *Server {
 		mux:    http.NewServeMux(),
 		log:    opt.Logger,
 		tracer: opt.Tracer,
+		inj:    opt.Chaos,
 	}
 	s.m = newMetrics(reg, r, s.lim)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -157,7 +167,17 @@ func (s *Server) Handler() http.Handler {
 			obs.String("method", r.Method),
 			obs.String("request_id", id))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		if d := s.inj.Fault(chaos.SiteServeRequest, r.URL.Path); d.Crash {
+			// Abort the connection mid-request — the client sees EOF,
+			// exactly as if the server process died under it.
+			panic(http.ErrAbortHandler)
+		} else if d.Err != nil {
+			d.Sleep()
+			http.Error(sw, "injected fault: "+d.Err.Error(), http.StatusServiceUnavailable)
+		} else {
+			d.Sleep()
+			s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		}
 		dur := time.Since(start)
 		span.SetAttr(obs.Int("status", sw.code))
 		span.End()

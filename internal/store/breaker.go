@@ -1,0 +1,155 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrDegraded reports that the store's circuit breaker is open: the disk
+// has produced enough consecutive errors that the store is refusing I/O
+// outright instead of hammering sick hardware. Callers already treat Put
+// failures as "the result was still computed, only persistence was lost"
+// and Get failures as misses, so degraded mode turns a full or dying disk
+// into recompute-without-persist, never into a failed sweep.
+var ErrDegraded = errors.New("store: circuit breaker open (store degraded)")
+
+// Breaker states, exposed through Store.BreakerState and the
+// cachecraft_store_breaker_state gauge.
+const (
+	// BreakerClosed: healthy — every operation touches the disk.
+	BreakerClosed = 0
+	// BreakerHalfOpen: cooling down — one probe operation is allowed
+	// through; success closes the breaker, failure re-opens it.
+	BreakerHalfOpen = 1
+	// BreakerOpen: tripped — reads miss and writes fail instantly,
+	// without disk I/O, until the cooldown elapses.
+	BreakerOpen = 2
+)
+
+// breaker is a consecutive-error circuit breaker over the store's disk
+// operations. It trips after threshold consecutive errors (Put failures
+// and non-ENOENT read errors both count — a missing file is a healthy
+// disk's answer, an EIO is not), fast-fails while open, and recovers
+// through half-open probes: after cooldown one operation is let through,
+// and its outcome decides between closing and re-opening.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu          sync.Mutex
+	consecutive int
+	state       int
+	openedAt    time.Time
+	probing     bool   // a half-open probe is in flight
+	trips       uint64 // closed→open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 8
+	}
+	if cooldown <= 0 {
+		cooldown = 3 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether an operation may touch the disk. While open it
+// returns false until the cooldown elapses; the first caller after that
+// becomes the half-open probe (exactly one — concurrent callers keep
+// fast-failing so a thundering herd cannot pile onto a sick disk).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default: // BreakerOpen
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	}
+}
+
+// record feeds one disk operation's outcome back. disk=false outcomes
+// (checksum mismatches, decode failures) are content problems, not disk
+// health, and leave the breaker alone.
+func (b *breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+		if err == nil {
+			b.state = BreakerClosed
+			b.consecutive = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+		}
+		return
+	}
+	if err == nil {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.state == BreakerClosed && b.consecutive >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.trips++
+	}
+}
+
+// snapshot reports (state, trips) for the gauge samplers.
+func (b *breaker) snapshot() (int, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface the pending half-open transition so the gauge doesn't show
+	// "open" forever on an idle store.
+	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen, b.trips
+	}
+	return b.state, b.trips
+}
+
+// SetBreaker arms a consecutive-error circuit breaker on the store:
+// after threshold consecutive disk errors (Put failures, non-ENOENT read
+// errors) the store goes degraded — Get misses and Put returns
+// ErrDegraded without touching the disk — until a half-open probe
+// succeeds after cooldown. Zero arguments select the defaults (8 errors,
+// 3s cooldown). Call before sharing the handle across goroutines; a
+// store without a breaker behaves exactly as before.
+func (s *Store) SetBreaker(threshold int, cooldown time.Duration) {
+	s.brk = newBreaker(threshold, cooldown)
+}
+
+// BreakerState reports the breaker's current state (BreakerClosed /
+// BreakerHalfOpen / BreakerOpen). A store without a breaker is always
+// BreakerClosed.
+func (s *Store) BreakerState() int {
+	if s.brk == nil {
+		return BreakerClosed
+	}
+	st, _ := s.brk.snapshot()
+	return st
+}
+
+// BreakerTrips reports how many times the breaker has tripped
+// closed→open over the store's lifetime.
+func (s *Store) BreakerTrips() uint64 {
+	if s.brk == nil {
+		return 0
+	}
+	_, trips := s.brk.snapshot()
+	return trips
+}

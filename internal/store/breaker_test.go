@@ -1,0 +1,161 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cachecraft/internal/chaos"
+)
+
+// sickStore returns a store whose first `failures` disk writes and every
+// read fail through injected chaos, with a breaker armed at `threshold`.
+func sickStore(t *testing.T, threshold int, cooldown time.Duration, rules ...chaos.Rule) *Store {
+	t.Helper()
+	s := mustOpen(t)
+	s.SetBreaker(threshold, cooldown)
+	s.SetChaos(chaos.New(1, rules...))
+	return s
+}
+
+func TestBreakerTripsAfterConsecutivePutErrors(t *testing.T) {
+	s := sickStore(t, 3, time.Hour,
+		chaos.Rule{Site: chaos.SiteStorePut, Kind: chaos.KindError, P: 1})
+	for i := 0; i < 3; i++ {
+		if got := s.BreakerState(); got != BreakerClosed {
+			t.Fatalf("op %d: state = %d, want closed", i, got)
+		}
+		err := s.Put(record("fp", uint64(i)))
+		if !errors.Is(err, chaos.ErrInjected) {
+			t.Fatalf("op %d: err = %v, want injected disk error", i, err)
+		}
+	}
+	if got := s.BreakerState(); got != BreakerOpen {
+		t.Fatalf("state after threshold errors = %d, want open", got)
+	}
+	if got := s.BreakerTrips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	// Open breaker: Put fast-fails with ErrDegraded (the chaos stream is
+	// not consulted — no disk I/O at all), Get is a fast miss.
+	if err := s.Put(record("fp", 9)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("open-breaker Put err = %v, want ErrDegraded", err)
+	}
+	if _, ok := s.Get("fp"); ok {
+		t.Fatal("open-breaker Get hit")
+	}
+	if got := s.inj.InjectedTotal(); got != 3 {
+		t.Fatalf("disk touched %d times, want 3 (open breaker must bypass disk)", got)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	// Errors on ops 0,1 then success then errors on 3,4: never three in a
+	// row, so a threshold-3 breaker must stay closed throughout.
+	s := sickStore(t, 3, time.Hour,
+		chaos.Rule{Site: chaos.SiteStorePut, Kind: chaos.KindError, P: 1, Limit: 2},
+		chaos.Rule{Site: chaos.SiteStorePut, Kind: chaos.KindError, P: 1, After: 3, Limit: 2})
+	for i := 0; i < 6; i++ {
+		_ = s.Put(record("fp", uint64(i)))
+	}
+	if got := s.BreakerState(); got != BreakerClosed {
+		t.Fatalf("state = %d, want closed (errors were never consecutive)", got)
+	}
+	if got := s.BreakerTrips(); got != 0 {
+		t.Fatalf("trips = %d, want 0", got)
+	}
+}
+
+func TestBreakerMissingFileIsHealthy(t *testing.T) {
+	s := mustOpen(t)
+	s.SetBreaker(2, time.Hour)
+	for i := 0; i < 50; i++ {
+		if _, ok := s.Get("absent"); ok {
+			t.Fatal("hit on absent fingerprint")
+		}
+	}
+	if got := s.BreakerState(); got != BreakerClosed {
+		t.Fatalf("state = %d after ENOENT misses, want closed (a missing file is a healthy disk's answer)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	// Three injected write errors trip the breaker; the chaos rule's Limit
+	// then exhausts, so the half-open probe hits a healthy disk and must
+	// close the breaker.
+	s := sickStore(t, 3, 20*time.Millisecond,
+		chaos.Rule{Site: chaos.SiteStorePut, Kind: chaos.KindError, P: 1, Limit: 3})
+	for i := 0; i < 3; i++ {
+		_ = s.Put(record("fp", uint64(i)))
+	}
+	if got := s.BreakerState(); got != BreakerOpen {
+		t.Fatalf("state = %d, want open", got)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if got := s.BreakerState(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %d, want half-open", got)
+	}
+	if err := s.Put(record("fp", 9)); err != nil {
+		t.Fatalf("probe Put failed: %v", err)
+	}
+	if got := s.BreakerState(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %d, want closed", got)
+	}
+	if _, ok := s.Get("fp"); !ok {
+		t.Fatal("recovered store missed the probe's record")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	s := sickStore(t, 2, 10*time.Millisecond,
+		chaos.Rule{Site: chaos.SiteStorePut, Kind: chaos.KindError, P: 1})
+	for i := 0; i < 2; i++ {
+		_ = s.Put(record("fp", uint64(i)))
+	}
+	time.Sleep(15 * time.Millisecond)
+	// The probe goes to disk, hits the still-sick injector, and re-opens.
+	if err := s.Put(record("fp", 9)); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("probe err = %v, want injected disk error", err)
+	}
+	if got := s.BreakerState(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %d, want open", got)
+	}
+	// Failed probes do not count as fresh trips.
+	if got := s.BreakerTrips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	if err := s.Put(record("fp", 10)); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("post-probe Put err = %v, want ErrDegraded", err)
+	}
+}
+
+func TestBreakerReadErrorsCountTooAndSyncFailures(t *testing.T) {
+	s := sickStore(t, 2, time.Hour,
+		chaos.Rule{Site: chaos.SiteStoreGet, Kind: chaos.KindError, P: 1, Limit: 1},
+		chaos.Rule{Site: chaos.SiteStoreSync, Kind: chaos.KindError, P: 1, Limit: 1})
+	if _, ok := s.Get("fp"); ok {
+		t.Fatal("injected read error produced a hit")
+	}
+	if err := s.Put(record("fp", 1)); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("fsync-failure Put err = %v", err)
+	}
+	if got := s.BreakerState(); got != BreakerOpen {
+		t.Fatalf("state = %d, want open (read + fsync errors both count)", got)
+	}
+}
+
+func TestStoreWithoutBreakerIsUnchanged(t *testing.T) {
+	s := mustOpen(t)
+	if got := s.BreakerState(); got != BreakerClosed {
+		t.Fatalf("breaker-less state = %d, want closed", got)
+	}
+	if got := s.BreakerTrips(); got != 0 {
+		t.Fatalf("breaker-less trips = %d, want 0", got)
+	}
+	if err := s.Put(record("fp", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("fp"); !ok {
+		t.Fatal("round trip failed")
+	}
+}

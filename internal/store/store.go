@@ -13,10 +13,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
+	"cachecraft/internal/chaos"
 	"cachecraft/internal/config"
 	"cachecraft/internal/gpu"
 	"cachecraft/internal/version"
@@ -42,10 +45,13 @@ type envelope struct {
 }
 
 // Store is a handle on one store directory. The zero value is not usable;
-// call Open. A Store holds no state beyond the path, so handles are safe
-// for concurrent use and cheap to recreate.
+// call Open. Beyond the path a Store carries only optional resilience
+// hooks (SetBreaker, SetChaos) that are configured once at setup, so
+// handles are safe for concurrent use and cheap to recreate.
 type Store struct {
 	dir string
+	brk *breaker        // nil = no circuit breaking
+	inj *chaos.Injector // nil = chaos off
 }
 
 // Open creates (if needed) and returns the store rooted at dir.
@@ -58,6 +64,13 @@ func Open(dir string) (*Store, error) {
 
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetChaos attaches a fault injector to the store's disk paths
+// (chaos.SiteStoreGet / SiteStorePut / SiteStoreSync). Injected errors
+// are indistinguishable from real disk failures: reads miss, writes
+// fail, and both feed the circuit breaker. Call before sharing the
+// handle; nil (the default) is chaos off at zero cost.
+func (s *Store) SetChaos(in *chaos.Injector) { s.inj = in }
 
 // path shards records by the first fingerprint byte to keep directories
 // small under large sweeps.
@@ -100,7 +113,26 @@ func (s *Store) Put(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("store: envelope %s: %w", rec.Fingerprint, err)
 	}
-	dst := s.path(rec.Fingerprint)
+	// Only now does the disk come into play: an open breaker fast-fails
+	// the write (degraded mode: recompute-without-persist), and every
+	// disk outcome below feeds the breaker's consecutive-error count.
+	if s.brk != nil && !s.brk.allow() {
+		return fmt.Errorf("store: write %s: %w", rec.Fingerprint, ErrDegraded)
+	}
+	err = s.putDisk(rec.Fingerprint, data)
+	if s.brk != nil {
+		s.brk.record(err)
+	}
+	return err
+}
+
+// putDisk performs Put's disk half: tempfile, fsync, rename, directory
+// fsync. Chaos hooks stand in for write and fsync failures.
+func (s *Store) putDisk(fp string, data []byte) error {
+	dst := s.path(fp)
+	if err := s.inj.Inject(chaos.SiteStorePut, fp); err != nil {
+		return fmt.Errorf("store: write %s: %w", fp, err)
+	}
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -113,7 +145,10 @@ func (s *Store) Put(rec Record) error {
 		// Flush the contents before the rename publishes the name: without
 		// this a crash can journal the rename but not the data, leaving a
 		// complete-looking entry full of zeros.
-		werr = tmp.Sync()
+		werr = s.inj.Inject(chaos.SiteStoreSync, fp)
+		if werr == nil {
+			werr = tmp.Sync()
+		}
 	}
 	cerr := tmp.Close()
 	if werr == nil {
@@ -127,12 +162,12 @@ func (s *Store) Put(rec Record) error {
 	}
 	if werr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: write %s: %w", rec.Fingerprint, werr)
+		return fmt.Errorf("store: write %s: %w", fp, werr)
 	}
 	// The rename itself lives in the parent directory's metadata; fsync it
 	// so the entry survives a crash after Put reports success.
 	if err := syncDir(filepath.Dir(dst)); err != nil {
-		return fmt.Errorf("store: write %s: %w", rec.Fingerprint, err)
+		return fmt.Errorf("store: write %s: %w", fp, err)
 	}
 	return nil
 }
@@ -154,9 +189,28 @@ func syncDir(dir string) error {
 // get loads, checksums, and decodes the record for fp. Any failure —
 // missing file, bad framing, checksum mismatch, a record that does not
 // belong at this address, or one from a different simulator revision —
-// is a miss.
+// is a miss. Disk health feeds the breaker: a missing file is a healthy
+// answer, a read error (EIO, injected chaos) counts toward tripping, and
+// an open breaker misses without touching the disk at all.
 func (s *Store) get(fp string) (Record, []byte, string, bool) {
-	data, err := os.ReadFile(s.path(fp))
+	if s.brk != nil && !s.brk.allow() {
+		return Record{}, nil, "", false
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if err = s.inj.Inject(chaos.SiteStoreGet, fp); err == nil {
+		data, err = os.ReadFile(s.path(fp))
+	}
+	if s.brk != nil {
+		switch {
+		case err == nil, errors.Is(err, fs.ErrNotExist):
+			s.brk.record(nil)
+		default:
+			s.brk.record(err)
+		}
+	}
 	if err != nil {
 		return Record{}, nil, "", false
 	}
